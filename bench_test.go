@@ -1,0 +1,301 @@
+// Benchmarks: one per figure of the paper's evaluation (Section V),
+// one per ablation of DESIGN.md, and real-cluster microbenchmarks of
+// the client stack. The Fig* benchmarks run the simulated Grid'5000
+// deployment at the paper's 270-node scale; a full sweep of every
+// figure is what cmd/figures prints. The remaining benchmarks measure
+// the real (in-process) daemons with testing.B semantics.
+package blobseer_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"blobseer"
+	"blobseer/internal/bench"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/namespace"
+	"blobseer/internal/util"
+)
+
+// report folds a figure's series into benchmark metrics so `go test
+// -bench` output carries the reproduced numbers.
+func report(b *testing.B, series []bench.Series) {
+	b.Helper()
+	for _, s := range series {
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("%s_x%g", s.Name, p.X))
+		}
+	}
+}
+
+// --- Figures (simulated Grid'5000 testbed, paper topology) ---
+
+func BenchmarkFig3aSingleWriter(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig3a([]float64{1, 16})
+	}
+	report(b, out)
+}
+
+func BenchmarkFig3bLoadBalance(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig3b([]float64{1, 16})
+	}
+	report(b, out)
+}
+
+func BenchmarkFig4ConcurrentReads(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig4([]int{50, 250})
+	}
+	report(b, out)
+}
+
+func BenchmarkFig5ConcurrentAppends(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig5([]int{50, 250})
+	}
+	report(b, out)
+}
+
+func BenchmarkFig6aRandomTextWriter(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig6a([]int{50, 1})
+	}
+	report(b, out)
+}
+
+func BenchmarkFig6bDistributedGrep(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig6b([]float64{6.4, 12.8})
+	}
+	report(b, out)
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationPlacement(150)
+	}
+	report(b, out)
+}
+
+func BenchmarkAblationMetadataProviders(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationMetadataProviders(150, []int{1, 5, 20})
+	}
+	report(b, out)
+}
+
+func BenchmarkAblationVMService(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationVMService(150, []float64{0.5, 2, 10, 50})
+	}
+	report(b, out)
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationBlockSize(4, []int{16, 32, 64, 128})
+	}
+	report(b, out)
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationReplication(4, []int{1, 2, 3})
+	}
+	report(b, out)
+}
+
+// BenchmarkAblationPrefetch measures the real BSFS client's prefetch /
+// write-behind cache (Section IV-B): a Hadoop-style sequence of 4 KB
+// reads over a striped file, with the cache enabled vs disabled.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	const (
+		blockSize = 256 * util.KB
+		fileSize  = 16 * blockSize
+	)
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 4, BlockSize: blockSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := fsys.Create(ctx, "/bench/data", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, blockSize)
+	for off := int64(0); off < fileSize; off += blockSize {
+		if _, err := w.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name         string
+		disableCache bool
+	}{{"prefetch", false}, {"nocache", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fsys, err := bsfs.New(bsfs.Config{
+				Core:         cl.NewClient(""),
+				NS:           namespace.NewClient(cl.Pool, cl.NSAddr),
+				BlockSize:    blockSize,
+				Replication:  1,
+				DisableCache: mode.disableCache,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(fileSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := fsys.Open(ctx, "/bench/data")
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := make([]byte, 4*util.KB)
+				for {
+					if _, err := r.Read(p); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+// --- Real-cluster client-path microbenchmarks ---
+
+func BenchmarkBSFSWrite(b *testing.B) {
+	const blockSize = 256 * util.KB
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 4, BlockSize: blockSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, blockSize)
+	b.SetBytes(blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := fsys.Create(ctx, fmt.Sprintf("/bench/w%d", i), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBSFSAppend(b *testing.B) {
+	const blockSize = 256 * util.KB
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 4, BlockSize: blockSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	client := cl.NewClient("")
+	m, err := client.Create(ctx, blockSize, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, blockSize)
+	b.SetBytes(blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Append(ctx, m.ID, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBSFSRead(b *testing.B) {
+	const blockSize = 256 * util.KB
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 4, BlockSize: blockSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	client := cl.NewClient("")
+	m, err := client.Create(ctx, blockSize, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 8*blockSize)
+	v, err := client.Append(ctx, m.ID, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Read(ctx, m.ID, v, 0, int64(len(data))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHDFSWrite(b *testing.B) {
+	const blockSize = 256 * util.KB
+	h, err := blobseer.StartHDFS(blobseer.HDFSConfig{Datanodes: 4, BlockSize: blockSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Stop()
+	ctx := context.Background()
+	fsys, err := h.NewFS("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, blockSize)
+	b.SetBytes(blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := fsys.Create(ctx, fmt.Sprintf("/bench/w%d", i), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Command blobseerd launches one BlobSeer (or baseline HDFS) daemon on
+// a TCP endpoint. A full deployment is a set of blobseerd processes,
+// one per role — exactly the process inventory of the paper's Figure 2:
+//
+//	blobseerd -role meta      -listen 127.0.0.1:7101
+//	blobseerd -role meta      -listen 127.0.0.1:7102
+//	blobseerd -role vmanager  -listen 127.0.0.1:7001 -meta 127.0.0.1:7101,127.0.0.1:7102
+//	blobseerd -role pmanager  -listen 127.0.0.1:7002 -strategy roundrobin
+//	blobseerd -role namespace -listen 127.0.0.1:7003 -vmanager 127.0.0.1:7001
+//	blobseerd -role provider  -listen 127.0.0.1:7201 -pmanager 127.0.0.1:7002 -host host-0
+//	blobseerd -role provider  -listen 127.0.0.1:7202 -pmanager 127.0.0.1:7002 -host host-1
+//
+// The baseline file system uses the namenode/datanode roles instead:
+//
+//	blobseerd -role namenode -listen 127.0.0.1:8001 -block-size 67108864
+//	blobseerd -role datanode -listen 127.0.0.1:8201 -namenode 127.0.0.1:8001 -host host-0
+//
+// Block payloads live in memory by default; pass -dir to persist them
+// in a file-backed store instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blobseer/internal/dht"
+	"blobseer/internal/hdfs"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/namespace"
+	"blobseer/internal/placement"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/store"
+	"blobseer/internal/util"
+	"blobseer/internal/vmanager"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "daemon role: vmanager | pmanager | provider | meta | namespace | namenode | datanode")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		metas    = flag.String("meta", "", "comma-separated metadata provider addresses (vmanager: abort repair; required for -role vmanager unless -no-repair)")
+		metaRepl = flag.Int("meta-replication", 1, "DHT replication level (vmanager repair path)")
+		noRepair = flag.Bool("no-repair", false, "vmanager: disable metadata abort repair")
+		vmAddr   = flag.String("vmanager", "", "version manager address (namespace role)")
+		pmAddr   = flag.String("pmanager", "", "provider manager address (provider role; registers at startup)")
+		nnAddr   = flag.String("namenode", "", "namenode address (datanode role; registers at startup)")
+		host     = flag.String("host", "", "physical host label exposed for affinity scheduling (provider/datanode)")
+		dir      = flag.String("dir", "", "directory for a file-backed block store (default: in-memory)")
+		syncW    = flag.Bool("sync", false, "fsync file-backed writes")
+		strategy = flag.String("strategy", "roundrobin", "placement strategy: roundrobin | random | sticky | leastloaded (pmanager/namenode)")
+		seed     = flag.Uint64("seed", 1, "placement RNG seed (random/sticky)")
+		stickyW  = flag.Int("sticky-window", 8, "sticky placement window (namenode's HDFS-0.20-like clustering)")
+		blockSz  = flag.Int64("block-size", 64*util.MB, "chunk size in bytes (namenode)")
+		wtimeout = flag.Duration("write-timeout", 0, "vmanager: abort writers silent for this long (0 disables the janitor)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("blobseerd: ")
+
+	if *role == "" {
+		fmt.Fprintln(os.Stderr, "blobseerd: -role is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	newStore := func() store.Store {
+		if *dir == "" {
+			return store.NewMemStore()
+		}
+		st, err := store.NewFSStore(*dir, *syncW)
+		if err != nil {
+			log.Fatalf("open store %s: %v", *dir, err)
+		}
+		return st
+	}
+	newStrategy := func() placement.Strategy {
+		switch *strategy {
+		case "roundrobin":
+			return placement.NewRoundRobin()
+		case "random":
+			return placement.NewRandom(*seed)
+		case "sticky":
+			return placement.NewRandomSticky(*stickyW, *seed)
+		case "leastloaded":
+			return placement.NewLeastLoaded()
+		default:
+			log.Fatalf("unknown strategy %q", *strategy)
+			return nil
+		}
+	}
+
+	var (
+		mux     *rpc.Mux
+		cleanup func()
+	)
+	switch *role {
+	case "meta":
+		mux = dht.NewMetaService(newStore()).Mux()
+
+	case "vmanager":
+		var repair vmanager.Repairer
+		if !*noRepair {
+			if *metas == "" {
+				log.Fatal("vmanager: -meta is required (or pass -no-repair)")
+			}
+			ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
+			pool := rpc.NewPool(rpc.TCPDialer)
+			repair = vmanager.MetadataRepairer(mdtree.NewDHTStore(dht.NewClient(ring, pool, *metaRepl)))
+		}
+		svc := vmanager.NewService(vmanager.NewState(repair))
+		if *wtimeout > 0 {
+			svc.StartJanitor(*wtimeout, *wtimeout/2)
+			cleanup = svc.StopJanitor
+		}
+		mux = svc.Mux()
+
+	case "pmanager":
+		mux = pmanager.NewService(pmanager.NewState(newStrategy())).Mux()
+
+	case "namespace":
+		if *vmAddr == "" {
+			log.Fatal("namespace: -vmanager is required")
+		}
+		pool := rpc.NewPool(rpc.TCPDialer)
+		creator := namespace.VMBlobCreator(vmanager.NewClient(pool, *vmAddr))
+		mux = namespace.NewService(namespace.NewState(creator)).Mux()
+
+	case "provider", "datanode":
+		mux = provider.NewService(newStore()).Mux()
+
+	case "namenode":
+		mux = hdfs.NewService(hdfs.NewNamenode(*blockSz, newStrategy())).Mux()
+
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+
+	lis, err := rpc.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	addr := lis.Addr().String()
+	srv := rpc.NewServer(mux)
+	go func() {
+		if err := srv.Serve(lis); err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	log.Printf("%s listening on %s", *role, addr)
+
+	// Storage daemons announce themselves to their manager so clients
+	// can be pointed at the manager alone.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	switch *role {
+	case "provider":
+		if *pmAddr == "" {
+			log.Fatal("provider: -pmanager is required")
+		}
+		pool := rpc.NewPool(rpc.TCPDialer)
+		if err := pmanager.NewClient(pool, *pmAddr).Register(ctx, addr, *host); err != nil {
+			log.Fatalf("register with provider manager %s: %v", *pmAddr, err)
+		}
+		log.Printf("registered with provider manager %s as host %q", *pmAddr, *host)
+	case "datanode":
+		if *nnAddr == "" {
+			log.Fatal("datanode: -namenode is required")
+		}
+		pool := rpc.NewPool(rpc.TCPDialer)
+		if err := hdfs.NewNNClient(pool, *nnAddr).Register(ctx, addr, *host); err != nil {
+			log.Fatalf("register with namenode %s: %v", *nnAddr, err)
+		}
+		log.Printf("registered with namenode %s as host %q", *nnAddr, *host)
+	}
+	cancel()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if cleanup != nil {
+		cleanup()
+	}
+	srv.Close()
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

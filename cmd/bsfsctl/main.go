@@ -1,0 +1,341 @@
+// Command bsfsctl is a client CLI for a running BSFS deployment (see
+// cmd/blobseerd for launching one). It speaks to the version manager,
+// provider manager, namespace manager and metadata DHT over TCP and
+// exercises the same client stack Hadoop would:
+//
+//	bsfsctl [conn flags] mkdir /data
+//	bsfsctl [conn flags] put local.bin /data/input
+//	bsfsctl [conn flags] ls /data
+//	bsfsctl [conn flags] stat /data/input
+//	bsfsctl [conn flags] cat /data/input > copy.bin
+//	bsfsctl [conn flags] append more.bin /data/input
+//	bsfsctl [conn flags] versions /data/input
+//	bsfsctl [conn flags] catv 2 /data/input      # read snapshot version 2
+//	bsfsctl [conn flags] locations /data/input   # block -> host map
+//	bsfsctl [conn flags] cp -w 8 /data/input /data/input2   # parallel copy
+//	bsfsctl [conn flags] prune 3 /data/input                # GC versions < 3
+//	bsfsctl [conn flags] mv /data/input /data/old
+//	bsfsctl [conn flags] rm -r /data
+//
+// Connection flags:
+//
+//	-vmanager  version manager address   (default 127.0.0.1:7001)
+//	-pmanager  provider manager address  (default 127.0.0.1:7002)
+//	-namespace namespace manager address (default 127.0.0.1:7003)
+//	-meta      comma-separated metadata provider addresses
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/core"
+	"blobseer/internal/dht"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/namespace"
+	"blobseer/internal/rpc"
+	"blobseer/internal/util"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: bsfsctl [flags] <command> [args]
+
+commands:
+  ls <dir>                 list a directory
+  mkdir <dir>              create a directory (and parents)
+  put <local> <remote>     upload a local file
+  get <remote> <local>     download to a local file
+  cat <remote>             write file contents to stdout
+  catv <version> <remote>  cat a pinned snapshot version
+  append <local> <remote>  append a local file's bytes
+  rm [-r] <path>           delete a file or directory
+  mv <src> <dst>           rename
+  stat <path>              show size/type
+  versions <path>          show the latest published version
+  prune <keep> <path>      garbage-collect versions below <keep>
+  cp [-w N] <src> <dst>    parallel server-side copy with N workers
+  locations <path>         show the block->host layout
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		vmAddr  = flag.String("vmanager", "127.0.0.1:7001", "version manager address")
+		pmAddr  = flag.String("pmanager", "127.0.0.1:7002", "provider manager address")
+		nsAddr  = flag.String("namespace", "127.0.0.1:7003", "namespace manager address")
+		metas   = flag.String("meta", "127.0.0.1:7101", "comma-separated metadata provider addresses")
+		blockSz = flag.Int64("block-size", 64*util.MB, "striping unit for new files")
+		repl    = flag.Int("replication", 1, "replication level for new files")
+		mrepl   = flag.Int("meta-replication", 1, "DHT replication level")
+		host    = flag.String("host", "", "client host label (affinity experiments)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	pool := rpc.NewPool(rpc.TCPDialer)
+	defer pool.Close()
+	ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
+	fsys, err := bsfs.New(bsfs.Config{
+		Core: core.NewClient(core.Config{
+			Pool:      pool,
+			VMAddr:    *vmAddr,
+			PMAddr:    *pmAddr,
+			MetaStore: mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl)),
+			Host:      *host,
+		}),
+		NS:          namespace.NewClient(pool, *nsAddr),
+		BlockSize:   *blockSz,
+		Replication: *repl,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(ctx, fsys, cmd, args); err != nil {
+		fatal(err)
+	}
+}
+
+func run(ctx context.Context, fsys *bsfs.FS, cmd string, args []string) error {
+	switch cmd {
+	case "ls":
+		if len(args) != 1 {
+			return fmt.Errorf("ls: want <dir>")
+		}
+		sts, err := fsys.List(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		for _, st := range sts {
+			kind := "-"
+			if st.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %12d  %s\n", kind, st.Size, st.Path)
+		}
+		return nil
+
+	case "mkdir":
+		if len(args) != 1 {
+			return fmt.Errorf("mkdir: want <dir>")
+		}
+		return fsys.Mkdirs(ctx, args[0])
+
+	case "put", "append":
+		if len(args) != 2 {
+			return fmt.Errorf("%s: want <local> <remote>", cmd)
+		}
+		in, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		var w io.WriteCloser
+		if cmd == "put" {
+			w, err = fsys.Create(ctx, args[1], true)
+		} else {
+			w, err = fsys.Append(ctx, args[1])
+		}
+		if err != nil {
+			return err
+		}
+		n, err := io.Copy(w, in)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d bytes -> %s\n", cmd, n, args[1])
+		return nil
+
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("get: want <remote> <local>")
+		}
+		r, err := fsys.Open(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		out, err := os.Create(args[1])
+		if err != nil {
+			return err
+		}
+		n, err := io.Copy(out, r)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("get: %d bytes -> %s\n", n, args[1])
+		return nil
+
+	case "cat":
+		if len(args) != 1 {
+			return fmt.Errorf("cat: want <remote>")
+		}
+		r, err := fsys.Open(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		_, err = io.Copy(os.Stdout, r)
+		return err
+
+	case "catv":
+		if len(args) != 2 {
+			return fmt.Errorf("catv: want <version> <remote>")
+		}
+		v, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("catv: bad version %q", args[0])
+		}
+		r, err := fsys.OpenVersion(ctx, args[1], v)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		_, err = io.Copy(os.Stdout, r)
+		return err
+
+	case "rm":
+		recursive := false
+		if len(args) > 0 && args[0] == "-r" {
+			recursive = true
+			args = args[1:]
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("rm: want [-r] <path>")
+		}
+		return fsys.Delete(ctx, args[0], recursive)
+
+	case "mv":
+		if len(args) != 2 {
+			return fmt.Errorf("mv: want <src> <dst>")
+		}
+		return fsys.Rename(ctx, args[0], args[1])
+
+	case "stat":
+		if len(args) != 1 {
+			return fmt.Errorf("stat: want <path>")
+		}
+		st, err := fsys.Stat(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		kind := "file"
+		if st.IsDir {
+			kind = "directory"
+		}
+		fmt.Printf("%s\t%s\t%d bytes\n", st.Path, kind, st.Size)
+		return nil
+
+	case "versions":
+		if len(args) != 1 {
+			return fmt.Errorf("versions: want <path>")
+		}
+		v, err := fsys.Versions(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: latest published version %d\n", args[0], v)
+		return nil
+
+	case "prune":
+		if len(args) != 2 {
+			return fmt.Errorf("prune: want <keep-version> <path>")
+		}
+		keep, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("prune: bad version %q", args[0])
+		}
+		st, err := fsys.Prune(ctx, args[1], blob.Version(keep))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pruned versions [%d, %d): freed %d metadata nodes, %d block replicas\n",
+			st.From, st.To, st.NodesFreed, st.BlocksFreed)
+		return nil
+
+	case "cp":
+		workers := 4
+		if len(args) > 0 && args[0] == "-w" {
+			if len(args) < 2 {
+				return fmt.Errorf("cp: -w wants a worker count")
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("cp: bad worker count %q", args[1])
+			}
+			workers = n
+			args = args[2:]
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("cp: want [-w N] <src> <dst>")
+		}
+		if err := fsys.ParallelCopy(ctx, args[0], args[1], workers); err != nil {
+			return err
+		}
+		st, err := fsys.Stat(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cp: %d bytes -> %s (%d concurrent writers)\n", st.Size, args[1], workers)
+		return nil
+
+	case "locations":
+		if len(args) != 1 {
+			return fmt.Errorf("locations: want <path>")
+		}
+		st, err := fsys.Stat(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		locs, err := fsys.Locations(ctx, args[0], 0, st.Size)
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			fmt.Printf("[%12d +%12d]  %s\n", l.Off, l.Len, strings.Join(l.Hosts, ","))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bsfsctl: %v\n", err)
+	os.Exit(1)
+}

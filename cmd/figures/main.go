@@ -1,0 +1,83 @@
+// Command figures regenerates the paper's evaluation figures (Section
+// V) on the simulated Grid'5000 testbed and prints each series as a
+// table. The flags select a figure and optionally shrink the sweep for
+// a quick run:
+//
+//	figures                  # every figure, full sweeps
+//	figures -fig 4           # only Figure 4
+//	figures -fig 6b -quick   # Figure 6b, coarse sweep
+//	figures -ablations       # the design-choice ablations of DESIGN.md
+//
+// Expected output shapes are documented in EXPERIMENTS.md; the shape
+// regression tests live in internal/bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blobseer/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 3a | 3b | 4 | 5 | 6a | 6b | all")
+		quick     = flag.Bool("quick", false, "coarse sweeps (3 points per curve)")
+		ablations = flag.Bool("ablations", false, "run the ablation experiments instead of the figures")
+	)
+	flag.Parse()
+
+	if *ablations {
+		fmt.Println(bench.Table("Ablation — placement strategy (Fig-4 workload, 150 readers)",
+			bench.AblationPlacement(150)))
+		fmt.Println(bench.Table("Ablation — metadata providers (Fig-4 workload, 150 readers)",
+			bench.AblationMetadataProviders(150, []int{1, 5, 10, 20})))
+		fmt.Println(bench.Table("Ablation — version-manager service time (Fig-5 workload, 150 appenders)",
+			bench.AblationVMService(150, []float64{0.5, 2, 10, 50})))
+		fmt.Println(bench.Table("Ablation — block size (4 GB single writer)",
+			bench.AblationBlockSize(4, []int{16, 32, 64, 128})))
+		fmt.Println(bench.Table("Ablation — replication level (4 GB single writer)",
+			bench.AblationReplication(4, []int{1, 2, 3})))
+		return
+	}
+
+	var (
+		gbs     = []float64{1, 2, 4, 6, 8, 10, 12, 14, 16}
+		clients = []int{1, 25, 50, 75, 100, 125, 150, 175, 200, 225, 250}
+		mappers = []int{50, 25, 10, 5, 2, 1}
+		inputs  = []float64{6.4, 8.0, 9.6, 11.2, 12.8}
+	)
+	if *quick {
+		gbs = []float64{1, 8, 16}
+		clients = []int{1, 100, 250}
+		mappers = []int{50, 5, 1}
+		inputs = []float64{6.4, 9.6, 12.8}
+	}
+
+	runs := []struct {
+		id    string
+		title string
+		run   func() []bench.Series
+	}{
+		{"3a", "Figure 3(a) — single writer, single file: throughput vs file size", func() []bench.Series { return bench.Fig3a(gbs) }},
+		{"3b", "Figure 3(b) — load balance: Manhattan distance to the ideal layout", func() []bench.Series { return bench.Fig3b(gbs) }},
+		{"4", "Figure 4 — concurrent readers, shared file: per-client throughput", func() []bench.Series { return bench.Fig4(clients) }},
+		{"5", "Figure 5 — concurrent appenders, shared file: aggregated throughput", func() []bench.Series { return bench.Fig5(clients) }},
+		{"6a", "Figure 6(a) — RandomTextWriter: job completion time vs per-mapper output", func() []bench.Series { return bench.Fig6a(mappers) }},
+		{"6b", "Figure 6(b) — distributed grep: job completion time vs input size", func() []bench.Series { return bench.Fig6b(inputs) }},
+	}
+
+	matched := false
+	for _, r := range runs {
+		if *fig != "all" && *fig != r.id {
+			continue
+		}
+		matched = true
+		fmt.Println(bench.Table(r.title, r.run()))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q (want 3a, 3b, 4, 5, 6a, 6b or all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,127 @@
+// Parallel-copy demonstrates Section V-F's motivating example: copying
+// a large distributed file "in parallel by multiple clients which read
+// different parts of the file, then concurrently append the data to
+// the destination file". It copies the same file twice — once through
+// a conventional single reader/writer stream, once with BlobSeer's
+// concurrent offset writers — verifies both copies bit for bit, and
+// prints the speed ratio. On HDFS this parallel copy is impossible by
+// construction: a file has exactly one writer.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"blobseer"
+)
+
+const (
+	blockSize = 64 << 10
+	fileSize  = 256 * blockSize // 16 MB
+	workers   = 8
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	cl, err := blobseer.Start(blobseer.Config{
+		DataProviders: 8,
+		MetaProviders: 2,
+		BlockSize:     blockSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The source: fileSize bytes of a repeating pattern.
+	pattern := []byte("blobseer brings high throughput under heavy concurrency ")
+	w, err := fsys.Create(ctx, "/data/source", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	written := 0
+	for written < fileSize {
+		n := len(pattern)
+		if written+n > fileSize {
+			n = fileSize - written
+		}
+		c, err := w.Write(pattern[:n])
+		if err != nil {
+			log.Fatal(err)
+		}
+		written += c
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source: %d MB across %d blocks on %d providers\n",
+		fileSize>>20, fileSize/blockSize, len(cl.ProviderAddrs))
+
+	// Serial copy: one stream does everything.
+	serialStart := time.Now()
+	src, err := fsys.Open(ctx, "/data/source")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := fsys.Create(ctx, "/data/copy-serial", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		log.Fatal(err)
+	}
+	if err := dst.Close(); err != nil {
+		log.Fatal(err)
+	}
+	src.Close()
+	serial := time.Since(serialStart)
+
+	// Parallel copy: `workers` uncoordinated writers, each writing its
+	// range at a fixed offset — every write is an independent snapshot,
+	// serialized only at version assignment.
+	parallelStart := time.Now()
+	if err := fsys.ParallelCopy(ctx, "/data/source", "/data/copy-parallel", workers); err != nil {
+		log.Fatal(err)
+	}
+	parallel := time.Since(parallelStart)
+
+	// Verify both copies.
+	for _, path := range []string{"/data/copy-serial", "/data/copy-parallel"} {
+		r, err := fsys.Open(ctx, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(data) != fileSize {
+			log.Fatalf("%s: %d bytes, want %d", path, len(data), fileSize)
+		}
+		for off := 0; off < fileSize; off += len(pattern) {
+			end := off + len(pattern)
+			if end > fileSize {
+				end = fileSize
+			}
+			if !bytes.Equal(data[off:end], pattern[:end-off]) {
+				log.Fatalf("%s: corruption at offset %d", path, off)
+			}
+		}
+	}
+
+	fmt.Printf("serial copy:   %8v (1 stream)\n", serial.Round(time.Millisecond))
+	fmt.Printf("parallel copy: %8v (%d concurrent offset writers)\n", parallel.Round(time.Millisecond), workers)
+	fmt.Printf("speedup: %.1fx — both copies verified bit for bit\n", float64(serial)/float64(parallel))
+	fmt.Println("(HDFS cannot run the parallel version at all: one writer per file)")
+}

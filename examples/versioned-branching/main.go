@@ -1,0 +1,135 @@
+// Versioned-branching replays the exact BLOB lifecycle of the paper's
+// Figure 1 against a live deployment — append four blocks, overwrite
+// the middle two, append one more — and shows what Section VI-A
+// promises versioning buys a Map/Reduce workflow: every snapshot stays
+// readable while new versions are produced, so a pipeline stage can
+// rewrite part of a dataset while another stage still consumes the
+// original, with only the differential patch stored.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"blobseer"
+)
+
+const blockSize = 64 << 10 // the paper's 64 MB, laptop-sized
+
+// block builds one full block filled with a label byte.
+func block(label byte) []byte { return bytes.Repeat([]byte{label}, blockSize) }
+
+// summarize renders a snapshot as one letter per block.
+func summarize(data []byte) string {
+	var out []byte
+	for off := 0; off < len(data); off += blockSize {
+		out = append(out, data[off])
+	}
+	return string(out)
+}
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 6, BlockSize: blockSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+
+	// The low-level BLOB API: this is the layer below BSFS.
+	client := cl.NewClient("")
+	meta, err := client.Create(ctx, blockSize, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1(a): append the first four blocks to an empty BLOB.
+	v1, err := client.Append(ctx, meta.ID,
+		bytes.Join([][]byte{block('A'), block('B'), block('C'), block('D')}, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1(b): overwrite the second and third block — a write at a
+	// random offset, which HDFS forbids outright.
+	v2, err := client.Write(ctx, meta.ID, blockSize,
+		bytes.Join([][]byte{block('x'), block('y')}, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1(c): append one more block.
+	v3, err := client.Append(ctx, meta.ID, block('E'))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every snapshot remains readable: the "branch" a slow pipeline
+	// stage pinned at v1 still sees is byte-identical to the original.
+	for _, v := range []blobseer.Version{v1, v2, v3} {
+		d, err := client.VM().VersionInfo(ctx, meta.ID, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := client.Read(ctx, meta.ID, v, 0, d.SizeAfter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot v%d: blocks [%s] (%d bytes)\n", v, summarize(data), len(data))
+	}
+
+	// Only differential patches were stored: 4 + 2 + 1 blocks, not
+	// 4 + 4 + 5 — count what the providers actually hold.
+	var blocks int
+	for _, addr := range cl.ProviderAddrs {
+		st := cl.ProviderService(addr).Store().Stats()
+		blocks += int(st.Items)
+	}
+	fmt.Printf("providers store %d blocks for 3 snapshots spanning %d logical blocks\n", blocks, 4+4+5)
+
+	// A stage that went wrong is undone by branching from an old
+	// snapshot: re-append the original middle blocks on top of v3.
+	orig, err := client.Read(ctx, meta.ID, v1, blockSize, 2*blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v4, err := client.Write(ctx, meta.ID, blockSize, orig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := client.VM().VersionInfo(ctx, meta.ID, v4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := client.Read(ctx, meta.ID, v4, 0, d.SizeAfter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollback  v%d: blocks [%s] — middle blocks restored from v%d\n", v4, summarize(data), v1)
+
+	// Finally, reclaim history: garbage-collect everything below the
+	// rollback snapshot. The sweep is differential-aware — blocks the
+	// kept snapshot still reads through shared subtrees survive.
+	st, err := client.GC(ctx, meta.ID, v4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocksAfter := 0
+	for _, addr := range cl.ProviderAddrs {
+		blocksAfter += int(cl.ProviderService(addr).Store().Stats().Items)
+	}
+	fmt.Printf("gc below v%d: freed %d tree nodes and %d block replicas; providers now hold %d blocks\n",
+		v4, st.NodesFreed, st.BlocksFreed, blocksAfter)
+	if _, err := client.Read(ctx, meta.ID, v1, 0, blockSize); err != nil {
+		fmt.Printf("reading pruned v%d now fails as specified: %v\n", v1, err)
+	}
+	data, err = client.Read(ctx, meta.ID, v4, 0, d.SizeAfter)
+	if err != nil || summarize(data) != "ABCDE" {
+		log.Fatalf("kept snapshot must survive GC intact: %q, %v", summarize(data), err)
+	}
+	fmt.Printf("kept      v%d: blocks [%s] — intact after garbage collection\n", v4, summarize(data))
+}

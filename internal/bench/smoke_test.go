@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+func TestQuickShapes(t *testing.T) {
+	t.Logf("Fig3a: %+v", Fig3a([]float64{1, 4}))
+	t.Logf("Fig3b: %+v", Fig3b([]float64{1, 4, 16}))
+	t.Logf("Fig4: %+v", Fig4([]int{1, 50, 150}))
+	t.Logf("Fig5: %+v", Fig5([]int{1, 50, 150}))
+	t.Logf("Fig6a: %+v", Fig6a([]int{50, 2, 1}))
+	t.Logf("Fig6b: %+v", Fig6b([]float64{6.4, 12.8}))
+}

@@ -1,0 +1,230 @@
+// Package blob defines the fundamental value types of the BlobSeer data
+// model: BLOB identifiers, snapshot versions, byte ranges, block keys
+// and the per-blob write-descriptor history that drives both metadata
+// weaving and read resolution.
+//
+// Terminology follows the paper: a BLOB is a flat sequence of bytes
+// striped into fixed-size blocks; every write or append produces a new
+// snapshot version that shares unmodified data and metadata with its
+// predecessors.
+package blob
+
+import (
+	"errors"
+	"fmt"
+
+	"blobseer/internal/util"
+)
+
+// ID uniquely identifies a BLOB in the system. IDs are allocated by the
+// version manager, starting at 1; 0 is "no blob".
+type ID uint64
+
+// Version identifies a snapshot of a BLOB. Versions are dense and
+// assigned sequentially by the version manager starting at 1. Version 0
+// is the implicit empty snapshot every BLOB starts with.
+type Version uint64
+
+// NoVersion is the version of the empty initial snapshot.
+const NoVersion Version = 0
+
+// Range is a half-open byte range [Off, Off+Len) within a BLOB.
+type Range struct {
+	Off int64
+	Len int64
+}
+
+// End returns the exclusive end offset of the range.
+func (r Range) End() int64 { return r.Off + r.Len }
+
+// IsEmpty reports whether the range covers no bytes.
+func (r Range) IsEmpty() bool { return r.Len <= 0 }
+
+// Intersects reports whether r and o share at least one byte.
+func (r Range) Intersects(o Range) bool {
+	return !r.IsEmpty() && !o.IsEmpty() && r.Off < o.End() && o.Off < r.End()
+}
+
+// Intersection returns the overlapping part of r and o (possibly empty).
+func (r Range) Intersection(o Range) Range {
+	off := util.Max(r.Off, o.Off)
+	end := util.Min(r.End(), o.End())
+	if end <= off {
+		return Range{Off: off, Len: 0}
+	}
+	return Range{Off: off, Len: end - off}
+}
+
+// Contains reports whether o lies fully within r.
+func (r Range) Contains(o Range) bool {
+	return o.Off >= r.Off && o.End() <= r.End()
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%d,%d)", r.Off, r.End())
+}
+
+// BlockKey names a stored data block on a data provider. Because the
+// version number of a write is only assigned *after* the data has been
+// stored (two-phase write, Section III-A4), blocks are keyed by a
+// client-chosen nonce unique per write operation rather than by version.
+type BlockKey struct {
+	Blob  ID
+	Nonce uint64 // unique per write operation
+	Seq   uint32 // block index within the write's payload
+}
+
+func (k BlockKey) String() string {
+	return fmt.Sprintf("b%d/%x/%d", k.Blob, k.Nonce, k.Seq)
+}
+
+// Meta is the per-blob static configuration fixed at creation time.
+type Meta struct {
+	ID          ID
+	BlockSize   int64 // striping unit; 64 MB in the paper's experiments
+	Replication int   // number of providers storing each block
+}
+
+// Validate checks the configuration invariants.
+func (m Meta) Validate() error {
+	if m.BlockSize <= 0 {
+		return errors.New("blob: block size must be positive")
+	}
+	if m.Replication < 1 {
+		return errors.New("blob: replication must be >= 1")
+	}
+	return nil
+}
+
+// WriteKind distinguishes writes at an explicit offset from appends
+// whose offset is fixed by the version manager at assignment time.
+type WriteKind uint8
+
+const (
+	// KindWrite is a write at a caller-specified offset.
+	KindWrite WriteKind = iota
+	// KindAppend is an append; the offset is the size of the previous
+	// snapshot, decided by the version manager.
+	KindAppend
+)
+
+func (k WriteKind) String() string {
+	if k == KindAppend {
+		return "append"
+	}
+	return "write"
+}
+
+// WriteDesc describes one committed-or-in-progress write: the version it
+// was assigned, the byte range it covers, and the blob size after it.
+// The ordered sequence of WriteDescs is the blob's history; it is the
+// "hint" the version manager hands to writers so they can weave metadata
+// concurrently with lower-version writers still in progress.
+type WriteDesc struct {
+	Version   Version
+	Off       int64
+	Len       int64
+	SizeAfter int64
+	Kind      WriteKind
+	Nonce     uint64 // the writer's block-key nonce (GC and abort repair)
+	Aborted   bool   // true if the writer died and the VM repaired the version
+}
+
+// Range returns the byte range covered by the write.
+func (d WriteDesc) Range() Range { return Range{Off: d.Off, Len: d.Len} }
+
+// History is the dense, version-ordered sequence of write descriptors of
+// one blob. Descs[i] has Version == i+1. History is a value type: the
+// version manager owns the authoritative copy, clients keep a cached
+// prefix and extend it from AssignVersion/GetHistory replies.
+type History struct {
+	Descs []WriteDesc
+}
+
+// Len returns the number of versions recorded.
+func (h *History) Len() int { return len(h.Descs) }
+
+// Latest returns the highest version recorded (NoVersion if none).
+func (h *History) Latest() Version { return Version(len(h.Descs)) }
+
+// Desc returns the descriptor for version v.
+func (h *History) Desc(v Version) (WriteDesc, bool) {
+	if v == NoVersion || int(v) > len(h.Descs) {
+		return WriteDesc{}, false
+	}
+	return h.Descs[v-1], true
+}
+
+// SizeAt returns the blob size as of version v (0 for NoVersion).
+func (h *History) SizeAt(v Version) int64 {
+	if v == NoVersion {
+		return 0
+	}
+	d, ok := h.Desc(v)
+	if !ok {
+		return -1
+	}
+	return d.SizeAfter
+}
+
+// Append extends the history with d; d.Version must be the next dense
+// version.
+func (h *History) Append(d WriteDesc) error {
+	if d.Version != Version(len(h.Descs))+1 {
+		return fmt.Errorf("blob: history gap: have %d versions, appending version %d", len(h.Descs), d.Version)
+	}
+	h.Descs = append(h.Descs, d)
+	return nil
+}
+
+// Extend merges a contiguous descriptor suffix fetched from the version
+// manager into the local cache. Overlapping entries are overwritten
+// (an entry may change Aborted status after a repair).
+func (h *History) Extend(descs []WriteDesc) error {
+	for _, d := range descs {
+		idx := int(d.Version) - 1
+		switch {
+		case idx < 0:
+			return fmt.Errorf("blob: descriptor with version 0")
+		case idx < len(h.Descs):
+			h.Descs[idx] = d
+		case idx == len(h.Descs):
+			h.Descs = append(h.Descs, d)
+		default:
+			return fmt.Errorf("blob: history gap: have %d versions, got version %d", len(h.Descs), d.Version)
+		}
+	}
+	return nil
+}
+
+// LatestIntersecting returns the newest version w <= upTo whose write
+// range intersects r (NoVersion if none). Aborted versions still count:
+// their metadata exists (repaired to describe an empty payload), so
+// borrowing from them stays well-defined.
+func (h *History) LatestIntersecting(r Range, upTo Version) Version {
+	if upTo > Version(len(h.Descs)) {
+		upTo = Version(len(h.Descs))
+	}
+	for v := upTo; v >= 1; v-- {
+		if h.Descs[v-1].Range().Intersects(r) {
+			return v
+		}
+	}
+	return NoVersion
+}
+
+// Clone returns a deep copy of the history.
+func (h *History) Clone() *History {
+	return &History{Descs: append([]WriteDesc(nil), h.Descs...)}
+}
+
+// Blocks returns the number of blocks needed to hold size bytes given
+// blockSize striping.
+func Blocks(size, blockSize int64) int64 { return util.CeilDiv(size, blockSize) }
+
+// SpanBytes returns the byte span covered by the segment-tree root of a
+// snapshot holding size bytes: the smallest power-of-two number of
+// blocks covering the size, times the block size (minimum one block).
+func SpanBytes(size, blockSize int64) int64 {
+	return util.NextPow2(Blocks(size, blockSize)) * blockSize
+}

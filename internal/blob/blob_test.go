@@ -1,0 +1,253 @@
+package blob
+
+import (
+	"testing"
+	"testing/quick"
+
+	"blobseer/internal/util"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{Off: 10, Len: 20}
+	if r.End() != 30 {
+		t.Errorf("End = %d", r.End())
+	}
+	if r.IsEmpty() {
+		t.Error("non-empty range reported empty")
+	}
+	if !(Range{Off: 5, Len: 0}).IsEmpty() {
+		t.Error("empty range not reported empty")
+	}
+}
+
+func TestRangeIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{Range{0, 10}, Range{5, 10}, true},
+		{Range{0, 10}, Range{10, 10}, false}, // touching, half-open
+		{Range{0, 10}, Range{9, 1}, true},
+		{Range{5, 5}, Range{0, 5}, false},
+		{Range{0, 0}, Range{0, 10}, false}, // empty never intersects
+		{Range{0, 100}, Range{40, 1}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("intersects not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestRangeIntersection(t *testing.T) {
+	got := (Range{0, 10}).Intersection(Range{5, 10})
+	if got.Off != 5 || got.Len != 5 {
+		t.Errorf("Intersection = %v", got)
+	}
+	if !(Range{0, 5}).Intersection(Range{7, 2}).IsEmpty() {
+		t.Error("disjoint intersection not empty")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	if !(Range{0, 10}).Contains(Range{2, 3}) {
+		t.Error("containment failed")
+	}
+	if (Range{0, 10}).Contains(Range{8, 3}) {
+		t.Error("overflow containment passed")
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	if err := (Meta{BlockSize: 64 * util.MB, Replication: 1}).Validate(); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+	if err := (Meta{BlockSize: 0, Replication: 1}).Validate(); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if err := (Meta{BlockSize: 1, Replication: 0}).Validate(); err == nil {
+		t.Error("zero replication accepted")
+	}
+}
+
+func TestHistoryAppendAndLookup(t *testing.T) {
+	h := &History{}
+	if h.Latest() != NoVersion {
+		t.Error("fresh history has a version")
+	}
+	if h.SizeAt(NoVersion) != 0 {
+		t.Error("empty snapshot size != 0")
+	}
+	if err := h.Append(WriteDesc{Version: 1, Off: 0, Len: 100, SizeAfter: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append(WriteDesc{Version: 3}); err == nil {
+		t.Error("gap append accepted")
+	}
+	if err := h.Append(WriteDesc{Version: 2, Off: 50, Len: 100, SizeAfter: 150, Kind: KindAppend}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Latest() != 2 {
+		t.Errorf("Latest = %d", h.Latest())
+	}
+	if h.SizeAt(1) != 100 || h.SizeAt(2) != 150 {
+		t.Error("SizeAt wrong")
+	}
+	if h.SizeAt(9) != -1 {
+		t.Error("unknown version size should be -1")
+	}
+	d, ok := h.Desc(2)
+	if !ok || d.Kind != KindAppend {
+		t.Error("Desc(2) wrong")
+	}
+	if _, ok := h.Desc(0); ok {
+		t.Error("Desc(0) should not exist")
+	}
+}
+
+func TestHistoryLatestIntersecting(t *testing.T) {
+	h := &History{}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(h.Append(WriteDesc{Version: 1, Off: 0, Len: 400, SizeAfter: 400}))   // blocks 0-3
+	must(h.Append(WriteDesc{Version: 2, Off: 100, Len: 200, SizeAfter: 400})) // blocks 1-2
+	must(h.Append(WriteDesc{Version: 3, Off: 400, Len: 100, SizeAfter: 500})) // block 4
+
+	cases := []struct {
+		r    Range
+		upTo Version
+		want Version
+	}{
+		{Range{0, 100}, 3, 1},   // only v1 touched block 0
+		{Range{100, 100}, 3, 2}, // v2 overwrote block 1
+		{Range{100, 100}, 1, 1}, // capped at v1
+		{Range{400, 100}, 3, 3},
+		{Range{400, 100}, 2, NoVersion}, // block 4 did not exist before v3
+		{Range{500, 100}, 3, NoVersion},
+		{Range{0, 500}, 3, 3},
+		{Range{0, 500}, 99, 3}, // upTo beyond history is clamped
+	}
+	for _, c := range cases {
+		if got := h.LatestIntersecting(c.r, c.upTo); got != c.want {
+			t.Errorf("LatestIntersecting(%v, %d) = %d, want %d", c.r, c.upTo, got, c.want)
+		}
+	}
+}
+
+func TestHistoryExtend(t *testing.T) {
+	h := &History{}
+	if err := h.Extend([]WriteDesc{{Version: 1, Len: 10, SizeAfter: 10}, {Version: 2, Len: 5, Off: 10, SizeAfter: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite version 2 with an aborted marker, add version 3.
+	if err := h.Extend([]WriteDesc{{Version: 2, Len: 5, Off: 10, SizeAfter: 15, Aborted: true}, {Version: 3, Off: 15, Len: 1, SizeAfter: 16}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := h.Desc(2)
+	if !d.Aborted {
+		t.Error("Extend did not overwrite descriptor")
+	}
+	if h.Latest() != 3 {
+		t.Errorf("Latest = %d", h.Latest())
+	}
+	if err := h.Extend([]WriteDesc{{Version: 9}}); err == nil {
+		t.Error("gap extend accepted")
+	}
+	if err := h.Extend([]WriteDesc{{Version: 0}}); err == nil {
+		t.Error("version-0 descriptor accepted")
+	}
+}
+
+func TestHistoryClone(t *testing.T) {
+	h := &History{}
+	if err := h.Append(WriteDesc{Version: 1, Len: 1, SizeAfter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := h.Clone()
+	if err := c.Append(WriteDesc{Version: 2, Off: 1, Len: 1, SizeAfter: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Latest() != 1 || c.Latest() != 2 {
+		t.Error("clone shares backing storage")
+	}
+}
+
+func TestBlocksAndSpan(t *testing.T) {
+	const B = 64 * util.MB
+	cases := []struct {
+		size, wantBlocks, wantSpan int64
+	}{
+		{0, 0, B},
+		{1, 1, B},
+		{B, 1, B},
+		{B + 1, 2, 2 * B},
+		{3 * B, 3, 4 * B},
+		{246 * B, 246, 256 * B},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.size, B); got != c.wantBlocks {
+			t.Errorf("Blocks(%d) = %d, want %d", c.size, got, c.wantBlocks)
+		}
+		if got := SpanBytes(c.size, B); got != c.wantSpan {
+			t.Errorf("SpanBytes(%d) = %d, want %d", c.size, got, c.wantSpan)
+		}
+	}
+}
+
+func TestLatestIntersectingMatchesBruteForce(t *testing.T) {
+	// Property: LatestIntersecting agrees with a direct scan for random
+	// histories and query ranges.
+	f := func(seed uint64, qOff, qLen uint16) bool {
+		r := util.NewSplitMix64(seed)
+		h := &History{}
+		size := int64(0)
+		for v := 1; v <= 20; v++ {
+			off := r.Int63n(1000)
+			ln := 1 + r.Int63n(200)
+			if end := off + ln; end > size {
+				size = end
+			}
+			if err := h.Append(WriteDesc{Version: Version(v), Off: off, Len: ln, SizeAfter: size}); err != nil {
+				return false
+			}
+		}
+		q := Range{Off: int64(qOff % 1200), Len: int64(qLen%300) + 1}
+		upTo := Version(r.Intn(22))
+		got := h.LatestIntersecting(q, upTo)
+		want := NoVersion
+		limit := upTo
+		if limit > h.Latest() {
+			limit = h.Latest()
+		}
+		for v := Version(1); v <= limit; v++ {
+			d, _ := h.Desc(v)
+			if d.Range().Intersects(q) {
+				want = v
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteKindString(t *testing.T) {
+	if KindWrite.String() != "write" || KindAppend.String() != "append" {
+		t.Error("WriteKind strings wrong")
+	}
+}
+
+func TestBlockKeyString(t *testing.T) {
+	k := BlockKey{Blob: 7, Nonce: 0xff, Seq: 3}
+	if k.String() != "b7/ff/3" {
+		t.Errorf("BlockKey string = %q", k.String())
+	}
+}

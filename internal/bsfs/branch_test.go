@@ -1,0 +1,112 @@
+package bsfs_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+)
+
+// TestBranchDivergesIndependently: branch a file at an old snapshot,
+// then write to both; each evolves alone (Section II-A's "branching a
+// dataset into two independent datasets").
+func TestBranchDivergesIndependently(t *testing.T) {
+	cl := copyCluster(t)
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 = two 'a' blocks; v2 appends two 'b' blocks.
+	w, err := fsys.Create(ctx, "/main", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte{'a'}, int(2*copyBlock))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := fsys.Versions(ctx, "/main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fsys.Append(ctx, "/main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(bytes.Repeat([]byte{'b'}, int(2*copyBlock))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Branch from v1 (before the 'b' append).
+	if err := fsys.Branch(ctx, "/main", uint64(v1), "/branch", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evolve the branch with its own data.
+	ba, err := fsys.Append(ctx, "/branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ba.Write(bytes.Repeat([]byte{'z'}, int(copyBlock))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readAll := func(path string) []byte {
+		t.Helper()
+		r, err := fsys.Open(ctx, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	main := readAll("/main")
+	branch := readAll("/branch")
+	wantMain := append(bytes.Repeat([]byte{'a'}, int(2*copyBlock)), bytes.Repeat([]byte{'b'}, int(2*copyBlock))...)
+	wantBranch := append(bytes.Repeat([]byte{'a'}, int(2*copyBlock)), bytes.Repeat([]byte{'z'}, int(copyBlock))...)
+	if !bytes.Equal(main, wantMain) {
+		t.Fatal("main diverged from its own history")
+	}
+	if !bytes.Equal(branch, wantBranch) {
+		t.Fatal("branch does not contain snapshot + its own append")
+	}
+}
+
+// TestBranchOfUnpublishedVersionFails: branching needs a published
+// snapshot.
+func TestBranchOfUnpublishedVersionFails(t *testing.T) {
+	cl := copyCluster(t)
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fsys.Create(ctx, "/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Branch(ctx, "/f", 99, "/g", 2); err == nil {
+		t.Fatal("branching a nonexistent version should fail")
+	}
+}

@@ -1,0 +1,163 @@
+package bsfs_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"testing"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/util"
+)
+
+const copyBlock = int64(4 * util.KB)
+
+func copyCluster(t *testing.T) *cluster.BlobSeer {
+	t.Helper()
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 4,
+		MetaProviders: 2,
+		BlockSize:     copyBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl
+}
+
+// TestParallelCopy checks the Section V-F use case across sizes that
+// exercise every alignment: sub-block, exact blocks, and unaligned
+// tails, with worker counts from serial to more-workers-than-blocks.
+func TestParallelCopy(t *testing.T) {
+	cl := copyCluster(t)
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	for _, size := range []int64{1, copyBlock, copyBlock + 1, 3 * copyBlock, 7*copyBlock + 123} {
+		for _, workers := range []int{1, 2, 5, 16} {
+			payload := make([]byte, size)
+			rng.Read(payload)
+			w, err := fsys.Create(ctx, "/src", true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := fsys.ParallelCopy(ctx, "/src", "/dst", workers); err != nil {
+				t.Fatalf("size %d workers %d: %v", size, workers, err)
+			}
+			r, err := fsys.Open(ctx, "/dst")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(r)
+			r.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("size %d workers %d: copy diverged (%d vs %d bytes)",
+					size, workers, len(got), len(payload))
+			}
+		}
+	}
+}
+
+// TestParallelCopyPinsSource: appends racing the copy must not tear it
+// — the copy reads the snapshot that was latest when it started.
+func TestParallelCopyPinsSource(t *testing.T) {
+	cl := copyCluster(t)
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := bytes.Repeat([]byte{'o'}, int(4*copyBlock))
+	w, err := fsys.Create(ctx, "/src", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(original); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Race an appender against the copy.
+	done := make(chan error, 1)
+	go func() {
+		a, err := fsys.Append(ctx, "/src")
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := a.Write(bytes.Repeat([]byte{'X'}, int(2*copyBlock))); err != nil {
+			done <- err
+			return
+		}
+		done <- a.Close()
+	}()
+	if err := fsys.ParallelCopy(ctx, "/src", "/dst", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fsys.Open(ctx, "/dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The copy is either exactly the original or the original plus the
+	// complete append (if it published before the copy pinned) — never
+	// a torn mixture.
+	withAppend := append(append([]byte{}, original...), bytes.Repeat([]byte{'X'}, int(2*copyBlock))...)
+	if !bytes.Equal(got, original) && !bytes.Equal(got, withAppend) {
+		t.Fatalf("torn copy: %d bytes", len(got))
+	}
+}
+
+// TestParallelCopyEmptySource: copying an empty file produces an empty
+// destination.
+func TestParallelCopyEmptySource(t *testing.T) {
+	cl := copyCluster(t)
+	ctx := context.Background()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fsys.Create(ctx, "/src", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.ParallelCopy(ctx, "/src", "/dst", 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fsys.Stat(ctx, "/dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 0 {
+		t.Fatalf("empty copy has size %d", st.Size)
+	}
+}

@@ -1,0 +1,242 @@
+// Package cluster assembles whole deployments in one process: every
+// daemon of Figure 2 (version manager, provider manager, data
+// providers, metadata providers, namespace manager) wired over an
+// in-process or TCP transport, exactly as the automated Grid'5000
+// deployment of Section V-A wires physical machines. Tests, examples
+// and the CLI tools all start clusters through this package.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"blobseer/internal/bsfs"
+	"blobseer/internal/core"
+	"blobseer/internal/dht"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/namespace"
+	"blobseer/internal/placement"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/store"
+	"blobseer/internal/util"
+	"blobseer/internal/vmanager"
+)
+
+// Config describes a BlobSeer deployment.
+type Config struct {
+	DataProviders   int
+	MetaProviders   int
+	BlockSize       int64
+	Replication     int // data replication level
+	MetaReplication int // DHT replication level
+	Strategy        placement.Strategy
+	WriteTimeout    time.Duration // janitor abort threshold; 0 disables
+	UseTCP          bool          // listen on loopback TCP instead of inproc
+}
+
+func (c *Config) fill() {
+	if c.DataProviders == 0 {
+		c.DataProviders = 4
+	}
+	if c.MetaProviders == 0 {
+		c.MetaProviders = 2
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = util.MB // tests default to small blocks
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.MetaReplication == 0 {
+		c.MetaReplication = 1
+	}
+	if c.Strategy == nil {
+		c.Strategy = placement.NewRoundRobin()
+	}
+}
+
+// BlobSeer is a running deployment.
+type BlobSeer struct {
+	Cfg           Config
+	Pool          *rpc.Pool
+	VMAddr        string
+	PMAddr        string
+	NSAddr        string
+	ProviderAddrs []string
+	MetaAddrs     []string
+	MetaStore     mdtree.Store
+
+	vmSvc    *vmanager.Service
+	pmSvc    *pmanager.Service
+	nsSvc    *namespace.Service
+	provSvcs map[string]*provider.Service
+	metaSvcs map[string]*dht.MetaService
+
+	net     *rpc.InprocNetwork
+	servers []*rpc.Server
+}
+
+// listenerFactory abstracts inproc vs TCP endpoints.
+type listenerFactory func(name string) (net.Listener, string, error)
+
+// StartBlobSeer deploys all services of a BlobSeer instance.
+func StartBlobSeer(cfg Config) (*BlobSeer, error) {
+	cfg.fill()
+	c := &BlobSeer{
+		Cfg:      cfg,
+		provSvcs: make(map[string]*provider.Service),
+		metaSvcs: make(map[string]*dht.MetaService),
+	}
+
+	var listen listenerFactory
+	if cfg.UseTCP {
+		listen = func(name string) (net.Listener, string, error) {
+			lis, err := rpc.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				return nil, "", err
+			}
+			return lis, lis.Addr().String(), nil
+		}
+		c.Pool = rpc.NewPool(rpc.TCPDialer)
+	} else {
+		c.net = rpc.NewInprocNetwork()
+		listen = func(name string) (net.Listener, string, error) {
+			lis, err := c.net.Listen(name)
+			if err != nil {
+				return nil, "", err
+			}
+			return lis, name, nil
+		}
+		c.Pool = rpc.NewPool(c.net.Dial)
+	}
+
+	serve := func(name string, mux *rpc.Mux) (string, error) {
+		lis, addr, err := listen(name)
+		if err != nil {
+			return "", err
+		}
+		srv := rpc.NewServer(mux)
+		c.servers = append(c.servers, srv)
+		go srv.Serve(lis)
+		return addr, nil
+	}
+
+	// Metadata providers + DHT.
+	for i := 0; i < cfg.MetaProviders; i++ {
+		svc := dht.NewMetaService(store.NewMemStore())
+		addr, err := serve(fmt.Sprintf("meta-%d", i), svc.Mux())
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.MetaAddrs = append(c.MetaAddrs, addr)
+		c.metaSvcs[addr] = svc
+	}
+	ring := dht.NewRing(c.MetaAddrs, dht.DefaultVnodes)
+	c.MetaStore = mdtree.NewDHTStore(dht.NewClient(ring, c.Pool, cfg.MetaReplication))
+
+	// Version manager (with abort repair over the DHT).
+	c.vmSvc = vmanager.NewService(vmanager.NewState(vmanager.MetadataRepairer(c.MetaStore)))
+	if cfg.WriteTimeout > 0 {
+		c.vmSvc.StartJanitor(cfg.WriteTimeout, cfg.WriteTimeout/2)
+	}
+	vmAddr, err := serve("vmanager", c.vmSvc.Mux())
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.VMAddr = vmAddr
+
+	// Provider manager.
+	c.pmSvc = pmanager.NewService(pmanager.NewState(cfg.Strategy))
+	pmAddr, err := serve("pmanager", c.pmSvc.Mux())
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.PMAddr = pmAddr
+
+	// Namespace manager (the BSFS layer's file->BLOB map).
+	c.nsSvc = namespace.NewService(namespace.NewState(
+		namespace.VMBlobCreator(vmanager.NewClient(c.Pool, c.VMAddr))))
+	nsAddr, err := serve("namespace", c.nsSvc.Mux())
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.NSAddr = nsAddr
+
+	// Data providers; each lives on its own synthetic host, mirroring
+	// the paper's one-provider-per-machine deployment.
+	for i := 0; i < cfg.DataProviders; i++ {
+		svc := provider.NewService(store.NewMemStore())
+		addr, err := serve(fmt.Sprintf("provider-%d", i), svc.Mux())
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.ProviderAddrs = append(c.ProviderAddrs, addr)
+		c.provSvcs[addr] = svc
+		c.pmSvc.State().Register(addr, c.HostOf(i))
+	}
+	return c, nil
+}
+
+// HostOf returns the synthetic host name of data provider i.
+func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
+
+// NewClient returns a core client for this deployment. host may be ""
+// (a dedicated, non-co-deployed node, as in the paper's microbenchmark
+// boot-up phases) or one of HostOf(i) for a co-deployed client.
+func (c *BlobSeer) NewClient(host string) *core.Client {
+	return core.NewClient(core.Config{
+		Pool:      c.Pool,
+		VMAddr:    c.VMAddr,
+		PMAddr:    c.PMAddr,
+		MetaStore: c.MetaStore,
+		Host:      host,
+	})
+}
+
+// NewBSFS returns a BSFS file-system client for this deployment.
+func (c *BlobSeer) NewBSFS(host string) (*bsfs.FS, error) {
+	return bsfs.New(bsfs.Config{
+		Core:        c.NewClient(host),
+		NS:          namespace.NewClient(c.Pool, c.NSAddr),
+		BlockSize:   c.Cfg.BlockSize,
+		Replication: c.Cfg.Replication,
+	})
+}
+
+// VMService exposes the version manager (tests).
+func (c *BlobSeer) VMService() *vmanager.Service { return c.vmSvc }
+
+// NSService exposes the namespace manager (tests).
+func (c *BlobSeer) NSService() *namespace.Service { return c.nsSvc }
+
+// PMService exposes the provider manager (tests, layout metrics).
+func (c *BlobSeer) PMService() *pmanager.Service { return c.pmSvc }
+
+// ProviderService returns the daemon behind a provider address (tests,
+// failure injection).
+func (c *BlobSeer) ProviderService(addr string) *provider.Service { return c.provSvcs[addr] }
+
+// MetaService returns the daemon behind a metadata provider address
+// (tests, failure injection).
+func (c *BlobSeer) MetaService(addr string) *dht.MetaService { return c.metaSvcs[addr] }
+
+// Stop shuts every daemon down.
+func (c *BlobSeer) Stop() {
+	if c.vmSvc != nil {
+		c.vmSvc.StopJanitor()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+	if c.Pool != nil {
+		c.Pool.Close()
+	}
+}

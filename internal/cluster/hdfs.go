@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"blobseer/internal/hdfs"
+	"blobseer/internal/placement"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/store"
+	"blobseer/internal/util"
+)
+
+// HDFSConfig describes an HDFS-like baseline deployment.
+type HDFSConfig struct {
+	Datanodes   int
+	BlockSize   int64
+	Replication int
+	Strategy    placement.Strategy // default: hdfs.DefaultStrategy(seed 1)
+	UseTCP      bool
+}
+
+func (c *HDFSConfig) fill() {
+	if c.Datanodes == 0 {
+		c.Datanodes = 4
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = util.MB
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.Strategy == nil {
+		c.Strategy = hdfs.DefaultStrategy(1)
+	}
+}
+
+// HDFS is a running baseline deployment.
+type HDFS struct {
+	Cfg           HDFSConfig
+	Pool          *rpc.Pool
+	NNAddr        string
+	DatanodeAddrs []string
+
+	nnSvc   *hdfs.Service
+	dnSvcs  map[string]*provider.Service
+	net     *rpc.InprocNetwork
+	servers []*rpc.Server
+}
+
+// StartHDFS deploys a namenode plus datanodes.
+func StartHDFS(cfg HDFSConfig) (*HDFS, error) {
+	cfg.fill()
+	h := &HDFS{Cfg: cfg, dnSvcs: make(map[string]*provider.Service)}
+
+	var listen func(name string) (net.Listener, string, error)
+	if cfg.UseTCP {
+		listen = func(name string) (net.Listener, string, error) {
+			lis, err := rpc.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				return nil, "", err
+			}
+			return lis, lis.Addr().String(), nil
+		}
+		h.Pool = rpc.NewPool(rpc.TCPDialer)
+	} else {
+		h.net = rpc.NewInprocNetwork()
+		listen = func(name string) (net.Listener, string, error) {
+			lis, err := h.net.Listen(name)
+			if err != nil {
+				return nil, "", err
+			}
+			return lis, name, nil
+		}
+		h.Pool = rpc.NewPool(h.net.Dial)
+	}
+
+	serve := func(name string, mux *rpc.Mux) (string, error) {
+		lis, addr, err := listen(name)
+		if err != nil {
+			return "", err
+		}
+		srv := rpc.NewServer(mux)
+		h.servers = append(h.servers, srv)
+		go srv.Serve(lis)
+		return addr, nil
+	}
+
+	h.nnSvc = hdfs.NewService(hdfs.NewNamenode(cfg.BlockSize, cfg.Strategy))
+	nnAddr, err := serve("namenode", h.nnSvc.Mux())
+	if err != nil {
+		h.Stop()
+		return nil, err
+	}
+	h.NNAddr = nnAddr
+
+	for i := 0; i < cfg.Datanodes; i++ {
+		svc := provider.NewService(store.NewMemStore())
+		addr, err := serve(fmt.Sprintf("datanode-%d", i), svc.Mux())
+		if err != nil {
+			h.Stop()
+			return nil, err
+		}
+		h.DatanodeAddrs = append(h.DatanodeAddrs, addr)
+		h.dnSvcs[addr] = svc
+		h.nnSvc.Namenode().RegisterDatanode(addr, h.HostOf(i))
+	}
+	return h, nil
+}
+
+// HostOf returns the synthetic host name of datanode i (shared scheme
+// with BlobSeer deployments so co-deployment scenarios line up).
+func (h *HDFS) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
+
+// NewFS returns an HDFS client for this deployment.
+func (h *HDFS) NewFS(host string) (*hdfs.FS, error) {
+	return hdfs.New(hdfs.Config{
+		Pool:        h.Pool,
+		NNAddr:      h.NNAddr,
+		BlockSize:   h.Cfg.BlockSize,
+		Replication: h.Cfg.Replication,
+		Host:        host,
+	})
+}
+
+// Namenode exposes the namenode core (tests, layout metrics).
+func (h *HDFS) Namenode() *hdfs.Namenode { return h.nnSvc.Namenode() }
+
+// DatanodeService returns the daemon behind a datanode address.
+func (h *HDFS) DatanodeService(addr string) *provider.Service { return h.dnSvcs[addr] }
+
+// Stop shuts the deployment down.
+func (h *HDFS) Stop() {
+	for _, s := range h.servers {
+		s.Close()
+	}
+	if h.Pool != nil {
+		h.Pool.Close()
+	}
+}

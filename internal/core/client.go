@@ -1,0 +1,456 @@
+// Package core implements the BlobSeer client — the paper's primary
+// contribution seen from the application side. It orchestrates the
+// versioning access interface of Section III-A over the distributed
+// services: data providers (blocks), the provider manager (placement),
+// metadata providers (segment trees in a DHT) and the version manager
+// (version assignment and publication).
+//
+// The write path is the paper's two-phase protocol: data first, fully
+// in parallel with all other writers; then version assignment (the only
+// serialized step) followed by concurrent metadata weaving. Readers are
+// completely decoupled: they only ever see published, immutable
+// snapshots.
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/rpc"
+	"blobseer/internal/vmanager"
+)
+
+// ErrNotPublished is returned when a read names a version newer than
+// the latest published snapshot. Readers must not observe in-flight
+// writes (Section III-A5).
+var ErrNotPublished = errors.New("core: version not published yet")
+
+// Concurrency limits for the data path.
+const (
+	putConcurrency   = 8  // block uploads in flight per write
+	fetchConcurrency = 16 // block downloads in flight per read
+)
+
+// Config wires a Client to a deployment.
+type Config struct {
+	Pool      *rpc.Pool
+	VMAddr    string       // version manager endpoint
+	PMAddr    string       // provider manager endpoint
+	MetaStore mdtree.Store // metadata DHT (mdtree.NewDHTStore) or test store
+	Host      string       // this client's host name, for locality-aware placement
+}
+
+// Client is a BlobSeer client. It is safe for concurrent use; all
+// state it keeps is cache (histories, provider host map).
+type Client struct {
+	vm    *vmanager.Client
+	pm    *pmanager.Client
+	prov  *provider.Client
+	meta  mdtree.Store
+	host  string
+	nonce nonceSource
+
+	mu        sync.Mutex
+	histories map[blob.ID]*blob.History
+	metas     map[blob.ID]blob.Meta
+	hosts     map[string]string // provider addr -> host
+}
+
+// NewClient builds a client from cfg.
+func NewClient(cfg Config) *Client {
+	return &Client{
+		vm:        vmanager.NewClient(cfg.Pool, cfg.VMAddr),
+		pm:        pmanager.NewClient(cfg.Pool, cfg.PMAddr),
+		prov:      provider.NewClient(cfg.Pool),
+		meta:      cfg.MetaStore,
+		host:      cfg.Host,
+		nonce:     newNonceSource(),
+		histories: make(map[blob.ID]*blob.History),
+		metas:     make(map[blob.ID]blob.Meta),
+		hosts:     make(map[string]string),
+	}
+}
+
+// nonceSource hands out write nonces unique across clients with
+// overwhelming probability: a random 64-bit base plus a counter.
+type nonceSource struct {
+	base    uint64
+	counter *atomic.Uint64
+}
+
+func newNonceSource() nonceSource {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return nonceSource{base: binary.BigEndian.Uint64(b[:]), counter: new(atomic.Uint64)}
+}
+
+func (n nonceSource) next() uint64 { return n.base + n.counter.Add(1) }
+
+// VM exposes the version-manager client (BSFS and tools need direct
+// access for size/stat queries).
+func (c *Client) VM() *vmanager.Client { return c.vm }
+
+// Create allocates a new empty BLOB.
+func (c *Client) Create(ctx context.Context, blockSize int64, replication int) (blob.Meta, error) {
+	m, err := c.vm.CreateBlob(ctx, blockSize, replication)
+	if err != nil {
+		return blob.Meta{}, err
+	}
+	c.mu.Lock()
+	c.metas[m.ID] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Meta returns the blob's static configuration (cached).
+func (c *Client) Meta(ctx context.Context, id blob.ID) (blob.Meta, error) {
+	c.mu.Lock()
+	m, ok := c.metas[id]
+	c.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := c.vm.GetMeta(ctx, id)
+	if err != nil {
+		return blob.Meta{}, err
+	}
+	c.mu.Lock()
+	c.metas[id] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Latest returns the newest published version and the blob size at it.
+func (c *Client) Latest(ctx context.Context, id blob.ID) (blob.Version, int64, error) {
+	return c.vm.Latest(ctx, id)
+}
+
+// WaitPublished blocks until version v is published (the snapshot
+// notification mechanism of Section III-A5).
+func (c *Client) WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
+	return c.vm.WaitPublished(ctx, id, v, timeout)
+}
+
+// Write stores data at off in blob id and returns the new snapshot
+// version. Off must be block-aligned; a partial final block is only
+// allowed when the write reaches (or extends) the end of the blob.
+// The returned version may not be immediately readable: it publishes
+// once all lower versions commit (use WaitPublished to observe it).
+func (c *Client) Write(ctx context.Context, id blob.ID, off int64, data []byte) (blob.Version, error) {
+	return c.doWrite(ctx, id, blob.KindWrite, off, data)
+}
+
+// Append adds data at the end of blob id; the offset is fixed by the
+// version manager at assignment time (Section III-D).
+func (c *Client) Append(ctx context.Context, id blob.ID, data []byte) (blob.Version, error) {
+	return c.doWrite(ctx, id, blob.KindAppend, 0, data)
+}
+
+func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, off int64, data []byte) (blob.Version, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("core: empty %s", kind)
+	}
+	m, err := c.Meta(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	if kind == blob.KindWrite && off%m.BlockSize != 0 {
+		return 0, fmt.Errorf("core: write offset %d not aligned to block size %d", off, m.BlockSize)
+	}
+	nBlocks := int(blob.Blocks(int64(len(data)), m.BlockSize))
+
+	// Phase 1a: allocate providers for every block of the patch.
+	targets, err := c.pm.Allocate(ctx, nBlocks, m.Replication, c.host)
+	if err != nil {
+		return 0, fmt.Errorf("core: allocate providers: %w", err)
+	}
+
+	// Phase 1b: store all blocks, fully parallel with other writers.
+	nonce := c.nonce.next()
+	refs := make([]mdtree.BlockRef, nBlocks)
+	sem := make(chan struct{}, putConcurrency)
+	var wg sync.WaitGroup
+	var werrMu sync.Mutex
+	var werr error
+	for i := 0; i < nBlocks; i++ {
+		start := int64(i) * m.BlockSize
+		end := start + m.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		key := blob.BlockKey{Blob: id, Nonce: nonce, Seq: uint32(i)}
+		refs[i] = mdtree.BlockRef{Key: key, Providers: targets[i], Len: end - start}
+		chunk := data[start:end]
+		for _, addr := range targets[i] {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(addr string, key blob.BlockKey, chunk []byte) {
+				defer func() { <-sem; wg.Done() }()
+				if err := c.prov.Put(ctx, addr, key, chunk); err != nil {
+					werrMu.Lock()
+					if werr == nil {
+						werr = fmt.Errorf("core: store block %s on %s: %w", key, addr, err)
+					}
+					werrMu.Unlock()
+				}
+			}(addr, key, chunk)
+		}
+	}
+	wg.Wait()
+	if werr != nil {
+		// The paper: "If, for some reason, writing of a block fails,
+		// then the whole write fails." No version was assigned, so no
+		// repair is needed — just GC the orphaned blocks.
+		c.gcBlocks(id, nonce, targets)
+		return 0, werr
+	}
+
+	// Phase 2a: version assignment — the single serialization point.
+	since := c.cachedLatest(id)
+	a, err := c.vm.AssignVersion(ctx, id, kind, off, int64(len(data)), nonce, since)
+	if err != nil {
+		c.gcBlocks(id, nonce, targets)
+		return 0, err
+	}
+	hist, err := c.extendHistory(id, a.Descs)
+	if err != nil {
+		return 0, fmt.Errorf("core: history cache: %w", err)
+	}
+
+	// Phase 2b: weave and store metadata, concurrently with all other
+	// writers (including ones still working on lower versions).
+	if _, err := mdtree.Build(ctx, c.meta, m, hist, a.Version, refs); err != nil {
+		// Let the version manager repair the line so later versions
+		// stay readable, then GC our blocks.
+		if aerr := c.vm.Abort(ctx, id, a.Version); aerr != nil {
+			return 0, fmt.Errorf("core: metadata build failed (%v) and abort failed: %w", err, aerr)
+		}
+		c.gcBlocks(id, nonce, targets)
+		return 0, fmt.Errorf("core: metadata build: %w", err)
+	}
+
+	// Phase 2c: report success; the VM publishes in version order.
+	if err := c.vm.Commit(ctx, id, a.Version); err != nil {
+		return 0, err
+	}
+	return a.Version, nil
+}
+
+// gcBlocks best-effort deletes every block a failed write stored.
+func (c *Client) gcBlocks(id blob.ID, nonce uint64, targets [][]string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seen := map[string]bool{}
+	for _, set := range targets {
+		for _, addr := range set {
+			if !seen[addr] {
+				seen[addr] = true
+				_, _ = c.prov.DeleteWrite(ctx, addr, id, nonce)
+			}
+		}
+	}
+}
+
+func (c *Client) cachedLatest(id blob.ID) blob.Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.histories[id]; ok {
+		return h.Latest()
+	}
+	return 0
+}
+
+// extendHistory merges descriptors into the cache and returns a private
+// snapshot safe to use during metadata builds.
+func (c *Client) extendHistory(id blob.ID, descs []blob.WriteDesc) (*blob.History, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.histories[id]
+	if !ok {
+		h = &blob.History{}
+		c.histories[id] = h
+	}
+	if err := h.Extend(descs); err != nil {
+		return nil, err
+	}
+	return h.Clone(), nil
+}
+
+// Read returns length bytes starting at off from version v of blob id
+// (v == blob.NoVersion reads the latest published snapshot). Reads are
+// clamped at the snapshot size; unwritten regions read as zeros.
+func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]byte, error) {
+	m, err := c.Meta(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	pub, pubSize, err := c.vm.Latest(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	switch {
+	case v == blob.NoVersion:
+		if pub == blob.NoVersion {
+			return nil, nil // empty blob
+		}
+		v, size = pub, pubSize
+	case v > pub:
+		return nil, fmt.Errorf("%w: version %d, published %d", ErrNotPublished, v, pub)
+	default:
+		d, err := c.vm.VersionInfo(ctx, id, v)
+		if err != nil {
+			return nil, err
+		}
+		size = d.SizeAfter
+	}
+
+	if off >= size || length <= 0 {
+		return nil, nil
+	}
+	if off+length > size {
+		length = size - off
+	}
+	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: length})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, length)
+	sem := make(chan struct{}, fetchConcurrency)
+	var wg sync.WaitGroup
+	var rerrMu sync.Mutex
+	var rerr error
+	for _, e := range extents {
+		if !e.HasData || len(e.Block.Providers) == 0 {
+			continue // hole or repaired-abort leaf: stays zero
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e mdtree.Extent) {
+			defer func() { <-sem; wg.Done() }()
+			data, err := c.fetchExtent(ctx, e)
+			if err != nil {
+				rerrMu.Lock()
+				if rerr == nil {
+					rerr = err
+				}
+				rerrMu.Unlock()
+				return
+			}
+			copy(buf[e.FileOff-off:e.FileOff-off+int64(len(data))], data)
+		}(e)
+	}
+	wg.Wait()
+	if rerr != nil {
+		return nil, rerr
+	}
+	return buf, nil
+}
+
+// fetchExtent reads one extent, failing over across replicas.
+func (c *Client) fetchExtent(ctx context.Context, e mdtree.Extent) ([]byte, error) {
+	var lastErr error
+	for _, addr := range e.Block.Providers {
+		data, err := c.prov.Get(ctx, addr, e.Block.Key, e.DataOff, e.Len)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: all replicas failed for %s: %w", e.Block.Key, lastErr)
+}
+
+// Location describes where one piece of a blob range physically lives —
+// the primitive BSFS maps Hadoop's getFileBlockLocations onto
+// (Section IV-C).
+type Location struct {
+	Off       int64
+	Len       int64
+	Providers []string // provider RPC addresses (replicas)
+	Hosts     []string // physical hosts of those providers
+}
+
+// Locations returns the block locations covering [off, off+length) of
+// version v (NoVersion = latest published).
+func (c *Client) Locations(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]Location, error) {
+	m, err := c.Meta(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	pub, pubSize, err := c.vm.Latest(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	switch {
+	case v == blob.NoVersion:
+		if pub == blob.NoVersion {
+			return nil, nil
+		}
+		v, size = pub, pubSize
+	case v > pub:
+		return nil, fmt.Errorf("%w: version %d, published %d", ErrNotPublished, v, pub)
+	default:
+		d, err := c.vm.VersionInfo(ctx, id, v)
+		if err != nil {
+			return nil, err
+		}
+		size = d.SizeAfter
+	}
+	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: length})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Location, 0, len(extents))
+	for _, e := range extents {
+		loc := Location{Off: e.FileOff, Len: e.Len}
+		if e.HasData {
+			loc.Providers = e.Block.Providers
+			loc.Hosts = c.hostsFor(ctx, e.Block.Providers)
+		}
+		out = append(out, loc)
+	}
+	return out, nil
+}
+
+// hostsFor maps provider addresses to hosts, refreshing the cached
+// membership once on a miss.
+func (c *Client) hostsFor(ctx context.Context, addrs []string) []string {
+	c.mu.Lock()
+	missing := false
+	for _, a := range addrs {
+		if _, ok := c.hosts[a]; !ok {
+			missing = true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if missing {
+		if infos, err := c.pm.List(ctx); err == nil {
+			c.mu.Lock()
+			for _, in := range infos {
+				c.hosts[in.Addr] = in.Host
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hosts := make([]string, len(addrs))
+	for i, a := range addrs {
+		hosts[i] = c.hosts[a] // "" if unknown
+	}
+	return hosts
+}

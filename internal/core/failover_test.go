@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/cluster"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/util"
+)
+
+// TestReadFailsOverToReplica exercises Section VI-B's replication: with
+// replication 2, losing the primary copy of every block (simulated by
+// deleting the payloads from the primary provider's store) leaves all
+// data readable through the surviving replicas.
+func TestReadFailsOverToReplica(t *testing.T) {
+	const block = int64(4 * util.KB)
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 3,
+		MetaProviders: 2,
+		BlockSize:     block,
+		Replication:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	c := cl.NewClient("")
+	m, err := c.Create(ctx, block, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, int(6*block))
+	v, err := c.Append(ctx, m.ID, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every block must be on two distinct providers.
+	extents, err := mdtree.Resolve(ctx, cl.MetaStore, m, v, int64(len(payload)),
+		blob.Range{Off: 0, Len: int64(len(payload))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range extents {
+		if len(e.Block.Providers) != 2 {
+			t.Fatalf("block %s has %d replicas, want 2", e.Block.Key, len(e.Block.Providers))
+		}
+		if e.Block.Providers[0] == e.Block.Providers[1] {
+			t.Fatalf("block %s replicated onto the same provider", e.Block.Key)
+		}
+	}
+
+	// Kill exactly the primary copy of every block (replica copies that
+	// happen to live on the same providers stay).
+	for _, e := range extents {
+		st := cl.ProviderService(e.Block.Providers[0]).Store()
+		if err := st.Delete(e.Block.Key.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := c.Read(ctx, m.ID, v, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatalf("read after primary loss: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover read returned wrong bytes")
+	}
+}
+
+// TestReadFailsWhenAllReplicasLost: with every copy gone, the read
+// reports the failure instead of fabricating zeros.
+func TestReadFailsWhenAllReplicasLost(t *testing.T) {
+	const block = int64(4 * util.KB)
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 3,
+		BlockSize:     block,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	c := cl.NewClient("")
+	m, err := c.Create(ctx, block, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Append(ctx, m.ID, bytes.Repeat([]byte{1}, int(2*block)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range cl.ProviderAddrs {
+		if _, err := cl.ProviderService(addr).Store().DeletePrefix(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Read(ctx, m.ID, v, 0, 2*block); err == nil {
+		t.Fatal("read with all replicas lost should fail")
+	}
+}

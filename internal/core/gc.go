@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/mdtree"
+)
+
+// GCStats summarizes one garbage-collection sweep.
+type GCStats struct {
+	From, To    blob.Version // versions discarded: [From, To)
+	NodesFreed  int          // metadata tree nodes deleted
+	BlocksFreed int          // data block replicas deleted
+}
+
+// GC discards every snapshot version below keep and reclaims the
+// storage no kept version can reach (Section III-A1's version
+// garbaging). The sweep is differential-aware: a block written by a
+// pruned version survives if any kept snapshot still reads it through
+// a shared subtree; only nodes and blocks hidden by later writes (or
+// bridge nodes reachable solely from pruned roots) are deleted.
+//
+// The prune point is advanced at the version manager first, so
+// concurrent readers of kept versions are never affected; a reader
+// pinned below keep loses its snapshot — the paper's stated contract
+// for garbaged versions.
+func (c *Client) GC(ctx context.Context, id blob.ID, keep blob.Version) (GCStats, error) {
+	deleter, ok := c.meta.(mdtree.Deleter)
+	if !ok {
+		return GCStats{}, fmt.Errorf("core: metadata store %T cannot delete nodes", c.meta)
+	}
+	m, err := c.Meta(ctx, id)
+	if err != nil {
+		return GCStats{}, err
+	}
+	// Full history: the liveness analysis needs every descriptor up to
+	// the prune point (descriptors themselves are never discarded).
+	descs, err := c.vm.History(ctx, id, 0)
+	if err != nil {
+		return GCStats{}, err
+	}
+	hist := &blob.History{}
+	if err := hist.Extend(descs); err != nil {
+		return GCStats{}, err
+	}
+
+	from, err := c.vm.Prune(ctx, id, keep)
+	if err != nil {
+		return GCStats{}, err
+	}
+	st := GCStats{From: from, To: keep}
+	for k := from; k < keep; k++ {
+		d, ok := hist.Desc(k)
+		if !ok {
+			return st, fmt.Errorf("core: gc: history missing version %d", k)
+		}
+		dead, err := mdtree.DeadNodes(m, hist, k, keep)
+		if err != nil {
+			return st, fmt.Errorf("core: gc of version %d: %w", k, err)
+		}
+		for _, dn := range dead {
+			if dn.Leaf && !d.Aborted {
+				// Free the data block first: once the leaf is gone there
+				// is no other record of where the payload lives.
+				node, err := c.meta.Get(ctx, dn.ID)
+				if err == nil {
+					for _, addr := range node.Block.Providers {
+						if err := c.prov.Delete(ctx, addr, node.Block.Key); err == nil {
+							st.BlocksFreed++
+						}
+					}
+				}
+			}
+			if err := deleter.Delete(ctx, dn.ID); err != nil {
+				return st, fmt.Errorf("core: gc: delete node %s: %w", dn.ID.Key(), err)
+			}
+			st.NodesFreed++
+		}
+	}
+	return st, nil
+}

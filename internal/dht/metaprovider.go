@@ -1,0 +1,201 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/store"
+	"blobseer/internal/wire"
+)
+
+// RPC method numbers for the metadata provider service.
+const (
+	mMetaPut uint16 = iota + 1
+	mMetaGet
+	mMetaDelete
+	mMetaStat
+)
+
+// CodeNotFound is the RPC status for a missing metadata key.
+const CodeNotFound uint16 = 11
+
+// ErrNotFound is returned when a metadata key is absent from every
+// queried replica.
+var ErrNotFound = rpc.CodedError(CodeNotFound, "dht: key not found")
+
+// MetaService is the metadata-provider daemon implementation: a plain
+// KV shell over a store.Store. Tree nodes, being immutable once
+// written (the paper's "no existing metadata is ever modified"),
+// make replication trivial: any replica answer is correct.
+type MetaService struct {
+	store store.Store
+}
+
+// NewMetaService returns a metadata provider over st.
+func NewMetaService(st store.Store) *MetaService { return &MetaService{store: st} }
+
+// Store exposes the underlying store (tests, failure injection).
+func (s *MetaService) Store() store.Store { return s.store }
+
+// Mux returns the RPC dispatch table.
+func (s *MetaService) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mMetaPut, s.handlePut)
+	m.Handle(mMetaGet, s.handleGet)
+	m.Handle(mMetaDelete, s.handleDelete)
+	m.Handle(mMetaStat, s.handleStat)
+	return m
+}
+
+func (s *MetaService) handlePut(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	key := r.String()
+	val := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, s.store.Put(key, val)
+}
+
+func (s *MetaService) handleGet(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	key := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	val, err := s.store.Get(key)
+	if err == store.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := wire.NewBuffer(4 + len(val))
+	b.Bytes32(val)
+	return b.Bytes(), nil
+}
+
+func (s *MetaService) handleDelete(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	key := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, s.store.Delete(key)
+}
+
+func (s *MetaService) handleStat(payload []byte) ([]byte, error) {
+	st := s.store.Stats()
+	b := wire.NewBuffer(16)
+	b.I64(st.Items)
+	b.I64(st.Bytes)
+	return b.Bytes(), nil
+}
+
+// Client is the replicated DHT client used by BlobSeer writers and
+// readers. Writes go to all replicas (metadata is tiny and immutable);
+// reads try replicas in order and succeed on the first hit, which also
+// provides availability when a metadata provider dies.
+type Client struct {
+	ring     *Ring
+	pool     *rpc.Pool
+	replicas int
+}
+
+// NewClient returns a DHT client over the given ring with the given
+// replication factor (clamped to ring size, minimum 1).
+func NewClient(ring *Ring, pool *rpc.Pool, replicas int) *Client {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Client{ring: ring, pool: pool, replicas: replicas}
+}
+
+// Ring exposes the client's ring (location queries, tests).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Put stores key on every replica; it fails if any replica write fails
+// (metadata must be durable before a version can commit).
+func (c *Client) Put(ctx context.Context, key string, val []byte) error {
+	addrs := c.ring.Lookup(key, c.replicas)
+	if len(addrs) == 0 {
+		return errors.New("dht: empty ring")
+	}
+	b := wire.NewBuffer(8 + len(key) + len(val))
+	b.String(key)
+	b.Bytes32(val)
+	payload := b.Bytes()
+	for _, addr := range addrs {
+		cl, err := c.pool.Get(addr)
+		if err != nil {
+			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
+		}
+		if _, err := cl.Call(ctx, mMetaPut, payload); err != nil {
+			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
+		}
+	}
+	return nil
+}
+
+// Get fetches key from the first answering replica.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	addrs := c.ring.Lookup(key, c.replicas)
+	if len(addrs) == 0 {
+		return nil, errors.New("dht: empty ring")
+	}
+	b := wire.NewBuffer(8 + len(key))
+	b.String(key)
+	payload := b.Bytes()
+	var lastErr error
+	for _, addr := range addrs {
+		cl, err := c.pool.Get(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := cl.Call(ctx, mMetaGet, payload)
+		if err != nil {
+			lastErr = err
+			if rpc.CodeOf(err) == CodeNotFound {
+				// A missing key on the primary is authoritative for
+				// immutable metadata only if no replica has it either;
+				// keep trying the others.
+				continue
+			}
+			continue
+		}
+		r := wire.NewReader(resp)
+		val := r.Bytes32()
+		if err := r.Err(); err != nil {
+			lastErr = err
+			continue
+		}
+		return val, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNotFound
+	}
+	return nil, lastErr
+}
+
+// Delete removes key from all replicas (best effort; used by GC).
+func (c *Client) Delete(ctx context.Context, key string) error {
+	addrs := c.ring.Lookup(key, c.replicas)
+	b := wire.NewBuffer(8 + len(key))
+	b.String(key)
+	payload := b.Bytes()
+	var lastErr error
+	for _, addr := range addrs {
+		cl, err := c.pool.Get(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := cl.Call(ctx, mMetaDelete, payload); err != nil {
+			lastErr = err
+		}
+	}
+	return lastErr
+}

@@ -1,0 +1,102 @@
+// Package dht implements the distributed hash table BlobSeer stores its
+// metadata in (Section III-A3): a consistent-hash ring over metadata
+// providers, a metadata-provider RPC service, and a replicated
+// key-value client. Distributing the segment-tree nodes over this DHT
+// is what removes the centralized-metadata bottleneck the paper blames
+// for HDFS's behaviour under concurrency.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the number of virtual nodes per physical metadata
+// provider; enough to spread keys within a few percent of uniform.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing;
+// membership changes create a new Ring (metadata providers are fixed
+// for the lifetime of a deployment in the paper's experiments).
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the given node addresses with vnodes
+// virtual points each (DefaultVnodes if vnodes <= 0).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", n, v))
+			r.points = append(r.points, ringPoint{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's member addresses.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the addresses of the n distinct nodes responsible for
+// key, in preference order (primary first). n is clamped to the number
+// of members.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	h := hash64(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone has poor avalanche on short, near-sequential keys
+	// (exactly what tree-node identifiers look like); run the sum
+	// through a splitmix64-style finalizer so consecutive keys land on
+	// independent arcs of the ring.
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,66 @@
+package fs
+
+import (
+	"errors"
+
+	"blobseer/internal/rpc"
+)
+
+// ErrBusy is returned when a file is already held by another writer
+// (the HDFS-like baseline enforces single-writer semantics).
+var ErrBusy = errors.New("fs: file is open by another writer")
+
+// RPC status codes for the sentinel errors, shared by the BSFS
+// namespace manager and the HDFS-like namenode so clients of either can
+// errors.Is against the same sentinels.
+const (
+	CodeNotFound uint16 = 40 + iota
+	CodeExists
+	CodeIsDir
+	CodeNotDir
+	CodeNotEmpty
+	CodeNoAppend
+	CodeBusy
+)
+
+var codeByErr = []struct {
+	err  error
+	code uint16
+}{
+	{ErrNotFound, CodeNotFound},
+	{ErrExists, CodeExists},
+	{ErrIsDir, CodeIsDir},
+	{ErrNotDir, CodeNotDir},
+	{ErrNotEmpty, CodeNotEmpty},
+	{ErrNoAppend, CodeNoAppend},
+	{ErrBusy, CodeBusy},
+}
+
+// WrapErr converts a sentinel error into a coded RPC error (identity
+// for nil and unknown errors).
+func WrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	for _, m := range codeByErr {
+		if errors.Is(err, m.err) {
+			return rpc.CodedError(m.code, err.Error())
+		}
+	}
+	return err
+}
+
+// UnwrapErr converts a coded RPC error back into its sentinel
+// (identity for nil and unknown codes).
+func UnwrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	code := rpc.CodeOf(err)
+	for _, m := range codeByErr {
+		if m.code == code {
+			return m.err
+		}
+	}
+	return err
+}

@@ -1,0 +1,57 @@
+package fs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"//", "/"},
+		{"a", "/a"},
+		{"/a/b/", "/a/b"},
+		{"a//b", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"./x", "/x"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCleanIdempotent(t *testing.T) {
+	f := func(p string) bool { return Clean(Clean(p)) == Clean(p) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	got := Split("/a//b/./c/")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Split = %v", got)
+	}
+	if len(Split("/")) != 0 {
+		t.Error("Split(/) not empty")
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	cases := []struct{ in, parent, base string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", ""},
+	}
+	for _, c := range cases {
+		if got := Parent(c.in); got != c.parent {
+			t.Errorf("Parent(%q) = %q, want %q", c.in, got, c.parent)
+		}
+		if got := Base(c.in); got != c.base {
+			t.Errorf("Base(%q) = %q, want %q", c.in, got, c.base)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package hdfs_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/util"
+)
+
+// TestHDFSMatchesFlatModel drives random create/read/rename/delete
+// schedules against a live HDFS deployment and a map-based reference:
+// whole-file contents, random sub-range reads (through the prefetching
+// stream), and namespace state must all agree.
+func TestHDFSMatchesFlatModel(t *testing.T) {
+	const block = int64(4 * util.KB)
+	names := []string{"/a", "/b", "/dir/c", "/dir/d"}
+
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			h, err := cluster.StartHDFS(cluster.HDFSConfig{Datanodes: 3, BlockSize: block})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(h.Stop)
+			ctx := context.Background()
+			fsys, err := h.NewFS("")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			model := map[string][]byte{}
+
+			randPayload := func() []byte {
+				// Anything from sub-block to several blocks, unaligned.
+				n := 1 + rng.Intn(int(3*block))
+				p := make([]byte, n)
+				rng.Read(p)
+				return p
+			}
+
+			for step := 0; step < 40; step++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(5) {
+				case 0, 1: // create/overwrite, streaming random chunk sizes
+					payload := randPayload()
+					w, err := fsys.Create(ctx, name, true)
+					if err != nil {
+						t.Fatalf("step %d create %s: %v", step, name, err)
+					}
+					for off := 0; off < len(payload); {
+						n := 1 + rng.Intn(len(payload)-off)
+						c, err := w.Write(payload[off : off+n])
+						if err != nil {
+							t.Fatal(err)
+						}
+						off += c
+					}
+					if err := w.Close(); err != nil {
+						t.Fatal(err)
+					}
+					model[name] = payload
+
+				case 2: // full read
+					want, ok := model[name]
+					r, err := fsys.Open(ctx, name)
+					if !ok {
+						if err == nil {
+							r.Close()
+							t.Fatalf("step %d: opened deleted/missing %s", step, name)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d open %s: %v", step, name, err)
+					}
+					got, err := io.ReadAll(r)
+					r.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("step %d: %s contents diverged (%d vs %d bytes)", step, name, len(got), len(want))
+					}
+
+				case 3: // random sub-range read via Seek
+					want, ok := model[name]
+					if !ok || len(want) == 0 {
+						continue
+					}
+					off := rng.Intn(len(want))
+					n := 1 + rng.Intn(len(want)-off)
+					r, err := fsys.Open(ctx, name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := r.Seek(int64(off), io.SeekStart); err != nil {
+						t.Fatal(err)
+					}
+					got := make([]byte, n)
+					if _, err := io.ReadFull(r, got); err != nil {
+						t.Fatalf("step %d: ranged read %s [%d,+%d): %v", step, name, off, n, err)
+					}
+					r.Close()
+					if !bytes.Equal(got, want[off:off+n]) {
+						t.Fatalf("step %d: %s range [%d,+%d) diverged", step, name, off, n)
+					}
+
+				case 4: // delete or rename
+					if rng.Intn(2) == 0 {
+						err := fsys.Delete(ctx, name, false)
+						_, ok := model[name]
+						if ok && err != nil {
+							t.Fatalf("step %d delete %s: %v", step, name, err)
+						}
+						delete(model, name)
+					} else {
+						dst := names[rng.Intn(len(names))]
+						if dst == name {
+							continue
+						}
+						_, srcOK := model[name]
+						_, dstOK := model[dst]
+						err := fsys.Rename(ctx, name, dst)
+						if srcOK && !dstOK {
+							if err != nil {
+								t.Fatalf("step %d rename %s->%s: %v", step, name, dst, err)
+							}
+							model[dst] = model[name]
+							delete(model, name)
+						} else if err == nil && !srcOK {
+							t.Fatalf("step %d: rename of missing %s succeeded", step, name)
+						}
+					}
+				}
+
+				// Sizes always agree.
+				for name, want := range model {
+					st, err := fsys.Stat(ctx, name)
+					if err != nil {
+						t.Fatalf("step %d stat %s: %v", step, name, err)
+					}
+					if st.Size != int64(len(want)) {
+						t.Fatalf("step %d: %s size %d, want %d", step, name, st.Size, len(want))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,408 @@
+package hdfs
+
+import (
+	"context"
+
+	"blobseer/internal/fs"
+	"blobseer/internal/placement"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wire"
+)
+
+// RPC method numbers for the namenode.
+const (
+	mRegisterDatanode uint16 = iota + 1
+	mCreate
+	mAddBlock
+	mCompleteBlock
+	mCompleteFile
+	mGetBlockLocations
+	mStat
+	mList
+	mMkdirs
+	mDelete
+	mRename
+	mMarkDead
+)
+
+// Service is the namenode RPC shell.
+type Service struct {
+	nn *Namenode
+}
+
+// NewService wraps nn.
+func NewService(nn *Namenode) *Service { return &Service{nn: nn} }
+
+// Namenode exposes the core (tests).
+func (s *Service) Namenode() *Namenode { return s.nn }
+
+// Mux returns the dispatch table.
+func (s *Service) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mRegisterDatanode, s.handleRegister)
+	m.Handle(mCreate, s.handleCreate)
+	m.Handle(mAddBlock, s.handleAddBlock)
+	m.Handle(mCompleteBlock, s.handleCompleteBlock)
+	m.Handle(mCompleteFile, s.handleCompleteFile)
+	m.Handle(mGetBlockLocations, s.handleGetBlockLocations)
+	m.Handle(mStat, s.handleStat)
+	m.Handle(mList, s.handleList)
+	m.Handle(mMkdirs, s.handleMkdirs)
+	m.Handle(mDelete, s.handleDelete)
+	m.Handle(mRename, s.handleRename)
+	m.Handle(mMarkDead, s.handleMarkDead)
+	return m
+}
+
+func (s *Service) handleRegister(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr, host := r.String(), r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.nn.RegisterDatanode(addr, host)
+	return nil, nil
+}
+
+func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.nn.MarkDead(addr)
+	return nil, nil
+}
+
+func (s *Service) handleCreate(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	overwrite := r.Bool()
+	lease := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	id, err := s.nn.Create(path, overwrite, lease)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleAddBlock(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := FileID(r.U64())
+	lease := r.String()
+	clientHost := r.String()
+	replicas := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	bid, addrs, err := s.nn.AddBlock(id, lease, clientHost, replicas)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(32)
+	b.U64(uint64(bid))
+	b.StringSlice(addrs)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleCompleteBlock(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := FileID(r.U64())
+	lease := r.String()
+	bid := BlockID(r.U64())
+	length := r.I64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.nn.CompleteBlock(id, lease, bid, length))
+}
+
+func (s *Service) handleCompleteFile(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := FileID(r.U64())
+	lease := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.nn.CompleteFile(id, lease))
+}
+
+func (s *Service) handleGetBlockLocations(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	off, length := r.I64(), r.I64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	blocks, size, err := s.nn.GetBlockLocations(path, off, length)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(64)
+	b.I64(size)
+	b.U32(uint32(len(blocks)))
+	for _, lb := range blocks {
+		b.U64(uint64(lb.Block))
+		b.I64(lb.Off)
+		b.I64(lb.Len)
+		b.StringSlice(lb.Locations)
+		b.StringSlice(lb.Hosts)
+	}
+	return b.Bytes(), nil
+}
+
+func encodeStatus(b *wire.Buffer, st fs.FileStatus) {
+	b.String(st.Path)
+	b.I64(st.Size)
+	b.Bool(st.IsDir)
+}
+
+func decodeStatus(r *wire.Reader) fs.FileStatus {
+	return fs.FileStatus{Path: r.String(), Size: r.I64(), IsDir: r.Bool()}
+}
+
+func (s *Service) handleStat(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	st, err := s.nn.Stat(path)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(32)
+	encodeStatus(b, st)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleList(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sts, err := s.nn.List(path)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(64)
+	b.U32(uint32(len(sts)))
+	for _, st := range sts {
+		encodeStatus(b, st)
+	}
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.nn.Mkdirs(path))
+}
+
+func (s *Service) handleDelete(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	recursive := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.nn.Delete(path, recursive))
+}
+
+func (s *Service) handleRename(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	src, dst := r.String(), r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.nn.Rename(src, dst))
+}
+
+// NNClient is the namenode RPC client.
+type NNClient struct {
+	pool *rpc.Pool
+	addr string
+}
+
+// NewNNClient returns a client for the namenode at addr.
+func NewNNClient(pool *rpc.Pool, addr string) *NNClient {
+	return &NNClient{pool: pool, addr: addr}
+}
+
+func (c *NNClient) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
+	cl, err := c.pool.Get(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(ctx, m, payload)
+	if err != nil {
+		if rpc.CodeOf(err) == CodeNoProviders {
+			return nil, placement.ErrNoProviders
+		}
+		return nil, fs.UnwrapErr(err)
+	}
+	return resp, nil
+}
+
+// CodeNoProviders mirrors pmanager's code for a full cluster outage.
+const CodeNoProviders uint16 = 30
+
+// Register announces a datanode.
+func (c *NNClient) Register(ctx context.Context, addr, host string) error {
+	b := wire.NewBuffer(16)
+	b.String(addr)
+	b.String(host)
+	_, err := c.call(ctx, mRegisterDatanode, b.Bytes())
+	return err
+}
+
+// MarkDead removes a datanode.
+func (c *NNClient) MarkDead(ctx context.Context, addr string) error {
+	b := wire.NewBuffer(16)
+	b.String(addr)
+	_, err := c.call(ctx, mMarkDead, b.Bytes())
+	return err
+}
+
+// Create registers a new single-writer file.
+func (c *NNClient) Create(ctx context.Context, path string, overwrite bool, lease string) (FileID, error) {
+	b := wire.NewBuffer(32)
+	b.String(path)
+	b.Bool(overwrite)
+	b.String(lease)
+	resp, err := c.call(ctx, mCreate, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	id := FileID(r.U64())
+	return id, r.Err()
+}
+
+// AddBlock allocates the file's next chunk.
+func (c *NNClient) AddBlock(ctx context.Context, id FileID, lease, clientHost string, replicas int) (BlockID, []string, error) {
+	b := wire.NewBuffer(32)
+	b.U64(uint64(id))
+	b.String(lease)
+	b.String(clientHost)
+	b.U32(uint32(replicas))
+	resp, err := c.call(ctx, mAddBlock, b.Bytes())
+	if err != nil {
+		return 0, nil, err
+	}
+	r := wire.NewReader(resp)
+	bid := BlockID(r.U64())
+	addrs := r.StringSlice()
+	return bid, addrs, r.Err()
+}
+
+// CompleteBlock commits the last block's length.
+func (c *NNClient) CompleteBlock(ctx context.Context, id FileID, lease string, bid BlockID, length int64) error {
+	b := wire.NewBuffer(40)
+	b.U64(uint64(id))
+	b.String(lease)
+	b.U64(uint64(bid))
+	b.I64(length)
+	_, err := c.call(ctx, mCompleteBlock, b.Bytes())
+	return err
+}
+
+// CompleteFile closes the file.
+func (c *NNClient) CompleteFile(ctx context.Context, id FileID, lease string) error {
+	b := wire.NewBuffer(24)
+	b.U64(uint64(id))
+	b.String(lease)
+	_, err := c.call(ctx, mCompleteFile, b.Bytes())
+	return err
+}
+
+// GetBlockLocations fetches the chunks overlapping a range.
+func (c *NNClient) GetBlockLocations(ctx context.Context, path string, off, length int64) ([]LocatedBlock, int64, error) {
+	b := wire.NewBuffer(32)
+	b.String(path)
+	b.I64(off)
+	b.I64(length)
+	resp, err := c.call(ctx, mGetBlockLocations, b.Bytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	r := wire.NewReader(resp)
+	size := r.I64()
+	n := r.U32()
+	blocks := make([]LocatedBlock, 0, n)
+	for i := uint32(0); i < n; i++ {
+		blocks = append(blocks, LocatedBlock{
+			Block:     BlockID(r.U64()),
+			Off:       r.I64(),
+			Len:       r.I64(),
+			Locations: r.StringSlice(),
+			Hosts:     r.StringSlice(),
+		})
+	}
+	return blocks, size, r.Err()
+}
+
+// Stat describes a path.
+func (c *NNClient) Stat(ctx context.Context, path string) (fs.FileStatus, error) {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	resp, err := c.call(ctx, mStat, b.Bytes())
+	if err != nil {
+		return fs.FileStatus{}, err
+	}
+	r := wire.NewReader(resp)
+	st := decodeStatus(r)
+	return st, r.Err()
+}
+
+// List enumerates a directory.
+func (c *NNClient) List(ctx context.Context, path string) ([]fs.FileStatus, error) {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	resp, err := c.call(ctx, mList, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([]fs.FileStatus, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, decodeStatus(r))
+	}
+	return out, r.Err()
+}
+
+// Mkdirs creates directories.
+func (c *NNClient) Mkdirs(ctx context.Context, path string) error {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	_, err := c.call(ctx, mMkdirs, b.Bytes())
+	return err
+}
+
+// Delete unlinks a path.
+func (c *NNClient) Delete(ctx context.Context, path string, recursive bool) error {
+	b := wire.NewBuffer(20)
+	b.String(path)
+	b.Bool(recursive)
+	_, err := c.call(ctx, mDelete, b.Bytes())
+	return err
+}
+
+// Rename moves a path.
+func (c *NNClient) Rename(ctx context.Context, src, dst string) error {
+	b := wire.NewBuffer(32)
+	b.String(src)
+	b.String(dst)
+	_, err := c.call(ctx, mRename, b.Bytes())
+	return err
+}

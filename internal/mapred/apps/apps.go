@@ -1,0 +1,161 @@
+// Package apps implements the Map/Reduce applications the paper
+// evaluates (Section V-G) plus the classic wordcount: RandomTextWriter
+// (massively parallel writes, each mapper to its own output file) and
+// distributed grep (concurrent reads of one shared input file, tiny
+// reduce). Importing this package registers all three with the engine.
+package apps
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blobseer/internal/fs"
+	"blobseer/internal/mapred"
+	"blobseer/internal/util"
+)
+
+// Application names for JobConf.App.
+const (
+	RandomTextWriterApp = "randomtextwriter"
+	GrepApp             = "grep"
+	WordCountApp        = "wordcount"
+)
+
+// Words is the vocabulary RandomTextWriter samples sentences from —
+// the same idea as Hadoop's predefined word list.
+var Words = []string{
+	"blob", "seer", "throughput", "concurrency", "hadoop", "storage",
+	"version", "snapshot", "segment", "tree", "provider", "metadata",
+	"cluster", "stripe", "block", "append", "write", "read", "lock",
+	"free", "grid", "parallel", "data", "intensive", "scalable",
+}
+
+func init() {
+	mapred.RegisterApp(RandomTextWriterApp, &mapred.App{
+		NewMapper:  func(conf *mapred.JobConf) (mapred.Mapper, error) { return &rtwMapper{}, nil },
+		MakeSplits: rtwSplits,
+	})
+	mapred.RegisterApp(GrepApp, &mapred.App{
+		NewMapper: func(conf *mapred.JobConf) (mapred.Mapper, error) {
+			pat := conf.Args["pattern"]
+			if pat == "" {
+				return nil, fmt.Errorf("grep: missing 'pattern' argument")
+			}
+			return &grepMapper{pattern: pat}, nil
+		},
+		NewReducer: func(conf *mapred.JobConf) (mapred.Reducer, error) {
+			return sumReducer{}, nil
+		},
+	})
+	mapred.RegisterApp(WordCountApp, &mapred.App{
+		NewMapper: func(conf *mapred.JobConf) (mapred.Mapper, error) { return wcMapper{}, nil },
+		NewReducer: func(conf *mapred.JobConf) (mapred.Reducer, error) {
+			return sumReducer{}, nil
+		},
+	})
+}
+
+// ----- RandomTextWriter -----
+
+// rtwSplits builds one synthetic split per mapper. Args:
+//
+//	mappers:        number of map tasks (default 1)
+//	bytesPerMapper: output volume per task (required)
+//	seed:           RNG seed base (default 1)
+func rtwSplits(ctx context.Context, fsys fs.FileSystem, conf *mapred.JobConf) ([]mapred.Split, error) {
+	mappers, _ := strconv.Atoi(conf.Args["mappers"])
+	if mappers <= 0 {
+		mappers = 1
+	}
+	size, err := strconv.ParseInt(conf.Args["bytesPerMapper"], 10, 64)
+	if err != nil || size <= 0 {
+		return nil, fmt.Errorf("randomtextwriter: bad bytesPerMapper %q", conf.Args["bytesPerMapper"])
+	}
+	out := make([]mapred.Split, mappers)
+	for i := range out {
+		out[i] = mapred.Split{Synthetic: true, SynthSeq: i, SynthSize: size}
+	}
+	return out, nil
+}
+
+type rtwMapper struct{}
+
+// Map generates SynthSize bytes of random sentences. The record's key
+// is the split sequence (seeds the RNG), its value the byte budget.
+func (m *rtwMapper) Map(ctx context.Context, rec mapred.Record, emit mapred.Emit) error {
+	seq, err := strconv.Atoi(rec.Key)
+	if err != nil {
+		return fmt.Errorf("randomtextwriter: bad seq %q", rec.Key)
+	}
+	budget, err := strconv.ParseInt(rec.Value, 10, 64)
+	if err != nil {
+		return fmt.Errorf("randomtextwriter: bad budget %q", rec.Value)
+	}
+	rng := util.NewSplitMix64(uint64(seq) + 1)
+	var sb strings.Builder
+	written := int64(0)
+	for written < budget {
+		sb.Reset()
+		nWords := 5 + rng.Intn(10)
+		for w := 0; w < nWords; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(Words[rng.Intn(len(Words))])
+		}
+		line := sb.String()
+		if err := emit(strconv.FormatInt(written, 10), line); err != nil {
+			return err
+		}
+		written += int64(len(line)) + 1
+	}
+	return nil
+}
+
+// ----- Distributed grep -----
+
+type grepMapper struct {
+	pattern string
+}
+
+// Map counts lines containing the pattern; like the paper's grep, the
+// mappers "simply output the value of these counters".
+func (m *grepMapper) Map(ctx context.Context, rec mapred.Record, emit mapred.Emit) error {
+	if strings.Contains(rec.Value, m.pattern) {
+		return emit(m.pattern, "1")
+	}
+	return nil
+}
+
+// ----- WordCount -----
+
+type wcMapper struct{}
+
+// Map emits (word, 1) for every word of the line.
+func (m wcMapper) Map(ctx context.Context, rec mapred.Record, emit mapred.Emit) error {
+	for _, w := range strings.Fields(rec.Value) {
+		if err := emit(w, "1"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumReducer adds up integer values per key ("the reducers sum up all
+// the outputs of the mappers").
+type sumReducer struct{}
+
+// Reduce implements mapred.Reducer.
+func (sumReducer) Reduce(ctx context.Context, key string, values []string, emit mapred.Emit) error {
+	total := int64(0)
+	for _, v := range values {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sum: bad value %q for key %q", v, key)
+		}
+		total += n
+	}
+	return emit(key, strconv.FormatInt(total, 10))
+}

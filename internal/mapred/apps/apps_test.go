@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"blobseer/internal/mapred"
+)
+
+// collect gathers emitted pairs.
+type collect struct {
+	keys, vals []string
+}
+
+func (c *collect) emit(k, v string) error {
+	c.keys = append(c.keys, k)
+	c.vals = append(c.vals, v)
+	return nil
+}
+
+func TestAppsAreRegistered(t *testing.T) {
+	for _, name := range []string{RandomTextWriterApp, GrepApp, WordCountApp} {
+		if _, err := mapred.LookupApp(name); err != nil {
+			t.Errorf("app %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestRTWSplits(t *testing.T) {
+	conf := &mapred.JobConf{Args: map[string]string{"mappers": "3", "bytesPerMapper": "1024"}}
+	splits, err := rtwSplits(context.Background(), nil, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("want 3 splits, got %d", len(splits))
+	}
+	for i, s := range splits {
+		if !s.Synthetic || s.SynthSeq != i || s.SynthSize != 1024 {
+			t.Errorf("split %d = %+v", i, s)
+		}
+	}
+}
+
+func TestRTWSplitsRejectsBadSize(t *testing.T) {
+	for _, bad := range []string{"", "0", "-5", "abc"} {
+		conf := &mapred.JobConf{Args: map[string]string{"bytesPerMapper": bad}}
+		if _, err := rtwSplits(context.Background(), nil, conf); err == nil {
+			t.Errorf("bytesPerMapper=%q should be rejected", bad)
+		}
+	}
+}
+
+func TestRTWMapperMeetsBudget(t *testing.T) {
+	m := &rtwMapper{}
+	c := &collect{}
+	budget := int64(4096)
+	rec := mapred.Record{Key: "2", Value: strconv.FormatInt(budget, 10)}
+	if err := m.Map(context.Background(), rec, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, v := range c.vals {
+		total += int64(len(v)) + 1 // the engine adds one newline per line
+		for _, w := range strings.Fields(v) {
+			if !contains(Words, w) {
+				t.Fatalf("generated word %q not in vocabulary", w)
+			}
+		}
+	}
+	if total < budget || total > budget+256 {
+		t.Errorf("generated %d bytes for a %d budget", total, budget)
+	}
+}
+
+func TestRTWMapperDeterministicPerSeq(t *testing.T) {
+	run := func() []string {
+		m := &rtwMapper{}
+		c := &collect{}
+		if err := m.Map(context.Background(), mapred.Record{Key: "1", Value: "512"}, c.emit); err != nil {
+			t.Fatal(err)
+		}
+		return c.vals
+	}
+	a, b := run(), run()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Error("same split seq must generate identical text")
+	}
+}
+
+func TestRTWMapperRejectsBadRecord(t *testing.T) {
+	m := &rtwMapper{}
+	c := &collect{}
+	if err := m.Map(context.Background(), mapred.Record{Key: "x", Value: "10"}, c.emit); err == nil {
+		t.Error("bad seq should fail")
+	}
+	if err := m.Map(context.Background(), mapred.Record{Key: "1", Value: "x"}, c.emit); err == nil {
+		t.Error("bad budget should fail")
+	}
+}
+
+func TestGrepMapperCountsMatchingLines(t *testing.T) {
+	m := &grepMapper{pattern: "seer"}
+	c := &collect{}
+	lines := []string{"blob seer rules", "nothing here", "seer again"}
+	for _, l := range lines {
+		if err := m.Map(context.Background(), mapred.Record{Value: l}, c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.keys) != 2 {
+		t.Fatalf("want 2 matches, got %d", len(c.keys))
+	}
+	for i := range c.keys {
+		if c.keys[i] != "seer" || c.vals[i] != "1" {
+			t.Errorf("emit %d = (%q, %q)", i, c.keys[i], c.vals[i])
+		}
+	}
+}
+
+func TestWordCountMapper(t *testing.T) {
+	c := &collect{}
+	if err := (wcMapper{}).Map(context.Background(), mapred.Record{Value: "  a b  a\t"}, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(c.keys, ",") != "a,b,a" {
+		t.Errorf("keys = %v", c.keys)
+	}
+}
+
+func TestSumReducer(t *testing.T) {
+	c := &collect{}
+	if err := (sumReducer{}).Reduce(context.Background(), "k", []string{"1", "2", "39"}, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.vals) != 1 || c.vals[0] != "42" {
+		t.Errorf("sum = %v", c.vals)
+	}
+	if err := (sumReducer{}).Reduce(context.Background(), "k", []string{"1", "x"}, c.emit); err == nil {
+		t.Error("non-integer value should fail")
+	}
+}
+
+func contains(xs []string, w string) bool {
+	for _, x := range xs {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

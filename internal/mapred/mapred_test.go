@@ -1,0 +1,158 @@
+package mapred
+
+import (
+	"context"
+	"testing"
+
+	"blobseer/internal/fs"
+)
+
+func TestPartitionOfStable(t *testing.T) {
+	for _, key := range []string{"", "a", "word", "another-key"} {
+		p := partitionOf(key, 4)
+		if p < 0 || p >= 4 {
+			t.Fatalf("partition out of range: %d", p)
+		}
+		if p != partitionOf(key, 4) {
+			t.Fatal("partition not deterministic")
+		}
+	}
+	spread := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		spread[partitionOf(string(rune('a'+i%26))+string(rune(i)), 4)] = true
+	}
+	if len(spread) < 2 {
+		t.Error("partitioner sends everything to one reducer")
+	}
+}
+
+func TestKVCodec(t *testing.T) {
+	in := []KV{{"k1", "v1"}, {"", ""}, {"key", "value with spaces"}}
+	out, err := decodeKVs(encodeKVs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != in[0] || out[1] != in[1] || out[2] != in[2] {
+		t.Errorf("round trip = %v", out)
+	}
+	if _, err := decodeKVs([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestSortKVsStable(t *testing.T) {
+	kvs := []KV{{"b", "1"}, {"a", "1"}, {"b", "2"}, {"a", "2"}}
+	sortKVs(kvs)
+	want := []KV{{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "2"}}
+	for i := range want {
+		if kvs[i] != want[i] {
+			t.Fatalf("sorted = %v", kvs)
+		}
+	}
+}
+
+// lineReaderFS builds an in-memory file for split-boundary tests (the
+// real storage backends are exercised in engine_test.go).
+func lineReaderFS(t *testing.T, content string, blockSize int64) fs.FileSystem {
+	t.Helper()
+	f := newMemFS(blockSize)
+	w, err := f.Create(context.Background(), "/input", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readSplit(t *testing.T, fsys fs.FileSystem, split Split) []string {
+	t.Helper()
+	lr, err := newLineReader(context.Background(), fsys, split, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.close()
+	var lines []string
+	for {
+		rec, ok, err := lr.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return lines
+		}
+		lines = append(lines, rec.Value)
+	}
+}
+
+func TestLineReaderSplitBoundaries(t *testing.T) {
+	// Every line must be owned by exactly one split regardless of where
+	// the block boundary falls.
+	content := "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\n"
+	size := int64(len(content))
+	fsys := lineReaderFS(t, content, 16)
+	for splitLen := int64(5); splitLen <= size; splitLen++ {
+		var all []string
+		for off := int64(0); off < size; off += splitLen {
+			ln := splitLen
+			if off+ln > size {
+				ln = size - off
+			}
+			all = append(all, readSplit(t, fsys, Split{Path: "/input", Off: off, Len: ln})...)
+		}
+		want := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+		if len(all) != len(want) {
+			t.Fatalf("splitLen %d: got %d lines %v, want %d", splitLen, len(all), all, len(want))
+		}
+		for i := range want {
+			if all[i] != want[i] {
+				t.Fatalf("splitLen %d: line %d = %q, want %q", splitLen, i, all[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLineReaderNoTrailingNewline(t *testing.T) {
+	content := "one\ntwo\nthree" // no final newline
+	fsys := lineReaderFS(t, content, 8)
+	lines := readSplit(t, fsys, Split{Path: "/input", Off: 0, Len: int64(len(content))})
+	if len(lines) != 3 || lines[2] != "three" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestTextSplitsBlockAligned(t *testing.T) {
+	content := ""
+	for i := 0; i < 100; i++ {
+		content += "line-of-text\n" // 13 bytes each
+	}
+	fsys := lineReaderFS(t, content, 256)
+	splits, err := TextSplits(context.Background(), fsys, []string{"/input"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSplits := (len(content) + 255) / 256
+	if len(splits) != wantSplits {
+		t.Fatalf("%d splits, want %d", len(splits), wantSplits)
+	}
+	var total int64
+	for _, s := range splits {
+		total += s.Len
+		if len(s.Hosts) == 0 {
+			t.Error("split without locality hints")
+		}
+	}
+	if total != int64(len(content)) {
+		t.Errorf("splits cover %d bytes, want %d", total, len(content))
+	}
+}
+
+func TestLookupApp(t *testing.T) {
+	if _, err := LookupApp("no-such-app"); err == nil {
+		t.Error("unknown app resolved")
+	}
+}

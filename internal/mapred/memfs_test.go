@@ -1,0 +1,182 @@
+package mapred
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"blobseer/internal/fs"
+)
+
+// memFS is a minimal in-memory fs.FileSystem used by the white-box
+// tests of this package (the real backends live above mapred in the
+// dependency graph, so they are exercised from engine_test.go in the
+// external test package instead).
+type memFS struct {
+	mu        sync.Mutex
+	files     map[string][]byte
+	blockSize int64
+}
+
+var _ fs.FileSystem = (*memFS)(nil)
+
+func newMemFS(blockSize int64) *memFS {
+	return &memFS{files: make(map[string][]byte), blockSize: blockSize}
+}
+
+func (m *memFS) Name() string     { return "memfs" }
+func (m *memFS) BlockSize() int64 { return m.blockSize }
+
+func (m *memFS) Create(ctx context.Context, path string, overwrite bool) (fs.Writer, error) {
+	path = fs.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; ok && !overwrite {
+		return nil, fs.ErrExists
+	}
+	m.files[path] = nil
+	return &memWriter{fs: m, path: path}, nil
+}
+
+func (m *memFS) Append(ctx context.Context, path string) (fs.Writer, error) {
+	path = fs.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return nil, fs.ErrNotFound
+	}
+	return &memWriter{fs: m, path: path, appendMode: true}, nil
+}
+
+func (m *memFS) Open(ctx context.Context, path string) (fs.Reader, error) {
+	path = fs.Clean(path)
+	m.mu.Lock()
+	data, ok := m.files[path]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fs.ErrNotFound
+	}
+	return &memReader{Reader: bytes.NewReader(data)}, nil
+}
+
+func (m *memFS) Stat(ctx context.Context, path string) (fs.FileStatus, error) {
+	path = fs.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.files[path]; ok {
+		return fs.FileStatus{Path: path, Size: int64(len(data))}, nil
+	}
+	// Directory if any file lives under it.
+	for p := range m.files {
+		if strings.HasPrefix(p, path+"/") || path == "/" {
+			return fs.FileStatus{Path: path, IsDir: true}, nil
+		}
+	}
+	return fs.FileStatus{}, fs.ErrNotFound
+}
+
+func (m *memFS) List(ctx context.Context, path string) ([]fs.FileStatus, error) {
+	path = fs.Clean(path)
+	prefix := path + "/"
+	if path == "/" {
+		prefix = "/"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []fs.FileStatus
+	for p, data := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			out = append(out, fs.FileStatus{Path: p, Size: int64(len(data))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func (m *memFS) Mkdirs(ctx context.Context, path string) error { return nil }
+
+func (m *memFS) Delete(ctx context.Context, path string, recursive bool) error {
+	path = fs.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	for p := range m.files {
+		if recursive && strings.HasPrefix(p, path+"/") {
+			delete(m.files, p)
+		}
+	}
+	return nil
+}
+
+func (m *memFS) Rename(ctx context.Context, src, dst string) error {
+	src, dst = fs.Clean(src), fs.Clean(dst)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[src]
+	if !ok {
+		return fs.ErrNotFound
+	}
+	delete(m.files, src)
+	m.files[dst] = data
+	return nil
+}
+
+func (m *memFS) Locations(ctx context.Context, path string, off, length int64) ([]fs.BlockLocation, error) {
+	st, err := m.Stat(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	var out []fs.BlockLocation
+	for o := int64(0); o < st.Size; o += m.blockSize {
+		ln := m.blockSize
+		if o+ln > st.Size {
+			ln = st.Size - o
+		}
+		host := fmt.Sprintf("memhost-%d", (o/m.blockSize)%3)
+		out = append(out, fs.BlockLocation{Off: o, Len: ln, Hosts: []string{host}})
+	}
+	return out, nil
+}
+
+type memWriter struct {
+	fs         *memFS
+	path       string
+	appendMode bool
+	buf        []byte
+	closed     bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fs.ErrWriterClosed
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	if w.appendMode {
+		w.fs.files[w.path] = append(w.fs.files[w.path], w.buf...)
+	} else {
+		w.fs.files[w.path] = w.buf
+	}
+	return nil
+}
+
+type memReader struct {
+	*bytes.Reader
+}
+
+func (r *memReader) Close() error { return nil }
+
+var _ io.Seeker = (*memReader)(nil)

@@ -1,0 +1,380 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/fs"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wire"
+)
+
+// TaskTracker RPC method numbers.
+const (
+	mGetMapOutput uint16 = iota + 1
+)
+
+// TaskTrackerConfig configures one tracker.
+type TaskTrackerConfig struct {
+	Addr        string // this tracker's RPC endpoint (shuffle serving)
+	Host        string // physical host (locality matching)
+	FS          fs.FileSystem
+	JT          *JTClient
+	Pool        *rpc.Pool
+	MapSlots    int           // concurrent map tasks (2 in the paper's Hadoop era)
+	ReduceSlots int           // concurrent reduce tasks
+	Poll        time.Duration // heartbeat interval
+}
+
+func (c *TaskTrackerConfig) fill() {
+	if c.MapSlots <= 0 {
+		c.MapSlots = 2
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 1
+	}
+	if c.Poll <= 0 {
+		c.Poll = 5 * time.Millisecond
+	}
+}
+
+// TaskTracker executes map and reduce tasks and serves map outputs to
+// reducers (the shuffle).
+type TaskTracker struct {
+	cfg TaskTrackerConfig
+
+	mu      sync.Mutex
+	outputs map[string][]byte // shuffle key -> serialized KVs
+	running int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func shuffleKey(jobID uint64, mapTask, partition int) string {
+	return fmt.Sprintf("%d/%d/%d", jobID, mapTask, partition)
+}
+
+// NewTaskTracker returns an unstarted tracker.
+func NewTaskTracker(cfg TaskTrackerConfig) *TaskTracker {
+	cfg.fill()
+	return &TaskTracker{
+		cfg:     cfg,
+		outputs: make(map[string][]byte),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Mux returns the tracker's RPC dispatch table (shuffle service).
+func (t *TaskTracker) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mGetMapOutput, t.handleGetMapOutput)
+	return m
+}
+
+func (t *TaskTracker) handleGetMapOutput(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	jobID := r.U64()
+	mapTask := int(r.U32())
+	partition := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	data, ok := t.outputs[shuffleKey(jobID, mapTask, partition)]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mapred: no output for job %d map %d partition %d", jobID, mapTask, partition)
+	}
+	b := wire.NewBuffer(4 + len(data))
+	b.Bytes32(data)
+	return b.Bytes(), nil
+}
+
+// Start launches the heartbeat loop.
+func (t *TaskTracker) Start() {
+	t.wg.Add(1)
+	go t.loop()
+}
+
+// Stop terminates the tracker and waits for in-flight tasks.
+func (t *TaskTracker) Stop() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	t.wg.Wait()
+}
+
+func (t *TaskTracker) loop() {
+	defer t.wg.Done()
+	ctx := context.Background()
+	ticker := time.NewTicker(t.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		t.mu.Lock()
+		free := t.cfg.MapSlots + t.cfg.ReduceSlots - t.running
+		t.mu.Unlock()
+		if free <= 0 {
+			continue
+		}
+		asgs, gc, err := t.cfg.JT.RequestTasks(ctx, t.cfg.Addr, t.cfg.Host, free, free)
+		if err != nil {
+			continue // jobtracker unreachable; retry next beat
+		}
+		if len(gc) > 0 {
+			t.gcJobs(gc)
+		}
+		for _, a := range asgs {
+			t.mu.Lock()
+			t.running++
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func(a Assignment) {
+				defer t.wg.Done()
+				err := t.runTask(ctx, a)
+				msg := ""
+				if err != nil {
+					msg = err.Error()
+				}
+				_ = t.cfg.JT.Report(ctx, a.JobID, a.Type, a.TaskID, t.cfg.Addr, err == nil, msg)
+				t.mu.Lock()
+				t.running--
+				t.mu.Unlock()
+			}(a)
+		}
+	}
+}
+
+func (t *TaskTracker) gcJobs(ids []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, id := range ids {
+		prefix := fmt.Sprintf("%d/", id)
+		for k := range t.outputs {
+			if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+				delete(t.outputs, k)
+			}
+		}
+	}
+}
+
+func (t *TaskTracker) runTask(ctx context.Context, a Assignment) error {
+	if a.Type == taskMap {
+		return t.runMap(ctx, a)
+	}
+	return t.runReduce(ctx, a)
+}
+
+// runMap executes one map task: read the split, apply the mapper,
+// partition the output. Map-only jobs write part-m files directly (the
+// RandomTextWriter pattern); jobs with reducers keep the partitions in
+// memory for the shuffle.
+func (t *TaskTracker) runMap(ctx context.Context, a Assignment) error {
+	app, err := LookupApp(a.Conf.App)
+	if err != nil {
+		return err
+	}
+	mapper, err := app.NewMapper(&a.Conf)
+	if err != nil {
+		return err
+	}
+
+	if a.Conf.NumReduces == 0 {
+		// Map-only: emit writes lines straight to this task's output
+		// file, mirroring Hadoop's part-m-NNNNN convention.
+		path := fmt.Sprintf("%s/part-m-%05d", fs.Clean(a.Conf.OutputDir), a.TaskID)
+		w, err := t.cfg.FS.Create(ctx, path, true)
+		if err != nil {
+			return err
+		}
+		emit := func(k, v string) error {
+			_, err := fmt.Fprintf(w, "%s\t%s\n", k, v)
+			return err
+		}
+		if err := t.feedMapper(ctx, a, mapper, emit); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}
+
+	parts := make([][]KV, a.Conf.NumReduces)
+	emit := func(k, v string) error {
+		p := partitionOf(k, a.Conf.NumReduces)
+		parts[p] = append(parts[p], KV{Key: k, Value: v})
+		return nil
+	}
+	if err := t.feedMapper(ctx, a, mapper, emit); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	for p, kvs := range parts {
+		sortKVs(kvs)
+		t.outputs[shuffleKey(a.JobID, a.TaskID, p)] = encodeKVs(kvs)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// feedMapper streams the split's records through the mapper.
+func (t *TaskTracker) feedMapper(ctx context.Context, a Assignment, mapper Mapper, emit Emit) error {
+	if a.Split.Synthetic {
+		rec := Record{
+			Key:   fmt.Sprintf("%d", a.Split.SynthSeq),
+			Value: fmt.Sprintf("%d", a.Split.SynthSize),
+		}
+		return mapper.Map(ctx, rec, emit)
+	}
+	lr, err := newLineReader(ctx, t.cfg.FS, a.Split, a.Conf.InputVersion)
+	if err != nil {
+		return err
+	}
+	defer lr.close()
+	for {
+		rec, ok, err := lr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := mapper.Map(ctx, rec, emit); err != nil {
+			return err
+		}
+	}
+}
+
+// runReduce fetches its partition from every map's tracker, merges by
+// key, applies the reducer and writes the output file — or appends to
+// the shared output file when the job asks for the concurrent-append
+// mode of Section V-F.
+func (t *TaskTracker) runReduce(ctx context.Context, a Assignment) error {
+	app, err := LookupApp(a.Conf.App)
+	if err != nil {
+		return err
+	}
+	if app.NewReducer == nil {
+		return fmt.Errorf("mapred: app %q has no reducer", a.Conf.App)
+	}
+	reducer, err := app.NewReducer(&a.Conf)
+	if err != nil {
+		return err
+	}
+
+	// Shuffle: pull this partition from every map output.
+	var all []KV
+	for mapTask := 0; mapTask < a.NumMaps; mapTask++ {
+		addr := a.MapAddrs[mapTask]
+		kvs, err := t.fetchMapOutput(ctx, addr, a.JobID, mapTask, a.TaskID)
+		if err != nil {
+			return fmt.Errorf("mapred: shuffle from %s: %w", addr, err)
+		}
+		all = append(all, kvs...)
+	}
+	sortKVs(all)
+
+	var w fs.Writer
+	if a.Conf.SharedOutput {
+		shared := fs.Clean(a.Conf.OutputDir) + "/output"
+		w, err = t.cfg.FS.Append(ctx, shared)
+		if err != nil {
+			// HDFS has no append: fall back to per-reducer part files,
+			// the behaviour the paper describes as Hadoop's status quo.
+			w, err = t.cfg.FS.Create(ctx, fmt.Sprintf("%s/part-r-%05d", fs.Clean(a.Conf.OutputDir), a.TaskID), true)
+		}
+	} else {
+		w, err = t.cfg.FS.Create(ctx, fmt.Sprintf("%s/part-r-%05d", fs.Clean(a.Conf.OutputDir), a.TaskID), true)
+	}
+	if err != nil {
+		return err
+	}
+	emit := func(k, v string) error {
+		_, err := fmt.Fprintf(w, "%s\t%s\n", k, v)
+		return err
+	}
+	// Group runs of equal keys.
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].Key == all[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range all[i:j] {
+			values = append(values, kv.Value)
+		}
+		if err := reducer.Reduce(ctx, all[i].Key, values, emit); err != nil {
+			w.Close()
+			return err
+		}
+		i = j
+	}
+	return w.Close()
+}
+
+func (t *TaskTracker) fetchMapOutput(ctx context.Context, addr string, jobID uint64, mapTask, partition int) ([]KV, error) {
+	if addr == t.cfg.Addr {
+		// Local shortcut: reducers co-located with the map output.
+		t.mu.Lock()
+		data, ok := t.outputs[shuffleKey(jobID, mapTask, partition)]
+		t.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("mapred: local output missing")
+		}
+		return decodeKVs(data)
+	}
+	cl, err := t.cfg.Pool.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	b := wire.NewBuffer(16)
+	b.U64(jobID)
+	b.U32(uint32(mapTask))
+	b.U32(uint32(partition))
+	resp, err := cl.Call(ctx, mGetMapOutput, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	data := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return decodeKVs(data)
+}
+
+// SubmitAndWait submits conf and polls until the job finishes.
+func SubmitAndWait(ctx context.Context, jt *JTClient, conf JobConf, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	id, err := jt.Submit(ctx, conf)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	for {
+		st, err := jt.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State != JobRunning {
+			if st.State == JobFailed {
+				return st, fmt.Errorf("mapred: job failed: %s", st.Err)
+			}
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package mapred_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/fs"
+	"blobseer/internal/mapred"
+	"blobseer/internal/mapred/apps"
+)
+
+// TestGrepPinnedToSnapshot is Section VI-A in action: one workflow
+// stage greps a *frozen* snapshot of the dataset while another stage
+// keeps appending to the same file. The pinned job's counts must
+// reflect only the snapshot, and a later unpinned job sees everything.
+func TestGrepPinnedToSnapshot(t *testing.T) {
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 3,
+		BlockSize:     B,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	fsFor := func(host string) (fs.FileSystem, error) { return cl.NewBSFS(host) }
+	mr := startEngine(t, fsFor, 3)
+
+	ctx := context.Background()
+	bsfsFS, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fsys fs.FileSystem = bsfsFS
+
+	// Stage 1 writes the dataset: 500 matching lines.
+	w, err := fsys.Create(ctx, "/data/set.txt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := io.WriteString(w, "needle in line\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := bsfsFS.Versions(ctx, "/data/set.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 2 keeps appending more matches after the snapshot.
+	a, err := fsys.Append(ctx, "/data/set.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := io.WriteString(a, "needle appended later\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runGrepJob := func(inputVersion uint64, outDir string) int64 {
+		t.Helper()
+		jt := mr.Client()
+		id, err := jt.Submit(ctx, mapred.JobConf{
+			Name:         "pinned-grep",
+			App:          apps.GrepApp,
+			Args:         map[string]string{"pattern": "needle"},
+			InputPaths:   []string{"/data/set.txt"},
+			OutputDir:    outDir,
+			NumReduces:   1,
+			InputVersion: inputVersion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := jt.Wait(ctx, id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != mapred.JobSucceeded {
+			t.Fatalf("job failed: %s", st.Err)
+		}
+		r, err := fsys.Open(ctx, outDir+"/part-r-00000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(string(out)), "needle\t%d", &n); err != nil {
+			t.Fatalf("bad output %q: %v", out, err)
+		}
+		return n
+	}
+
+	if got := runGrepJob(uint64(snapshot), "/out-pinned"); got != 500 {
+		t.Errorf("pinned grep counted %d, want the snapshot's 500", got)
+	}
+	if got := runGrepJob(0, "/out-latest"); got != 800 {
+		t.Errorf("unpinned grep counted %d, want all 800", got)
+	}
+}
+
+// TestPinnedInputRejectedByHDFS: the baseline has no snapshots, so a
+// pinned job must fail with a clear error rather than silently reading
+// the latest contents.
+func TestPinnedInputRejectedByHDFS(t *testing.T) {
+	h, err := cluster.StartHDFS(cluster.HDFSConfig{Datanodes: 2, BlockSize: B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Stop)
+	fsFor := func(host string) (fs.FileSystem, error) { return h.NewFS(host) }
+	mr := startEngine(t, fsFor, 2)
+
+	ctx := context.Background()
+	fsys, err := fsFor("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fsys.Create(ctx, "/in.txt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "needle\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split computation probes the snapshot capability, so the refusal
+	// arrives at submission — fail-fast, not a half-run job.
+	jt := mr.Client()
+	_, err = jt.Submit(ctx, mapred.JobConf{
+		Name:         "pinned-on-hdfs",
+		App:          apps.GrepApp,
+		Args:         map[string]string{"pattern": "needle"},
+		InputPaths:   []string{"/in.txt"},
+		OutputDir:    "/out",
+		NumReduces:   1,
+		InputVersion: 1,
+	})
+	if err == nil {
+		t.Fatal("pinned job on HDFS should be rejected at submit")
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("rejection should mention missing snapshot support: %v", err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package mdtree implements BlobSeer's distributed segment-tree
+// metadata (Section III-A3 and ref [12]). One tree is associated with
+// every snapshot version of a BLOB; trees share entire subtrees with
+// older versions so each write stores only the nodes covering its
+// differential patch.
+//
+// Node identity is deterministic: a node is named by
+// (blob, version, offset, span). Version v materializes node R iff R
+// intersects v's write range — plus "bridge" nodes created when the
+// root span grows past what an older borrowed subtree can cover. All
+// other children borrow the newest version w <= v whose write range
+// intersects them. Because identity is computable from the write
+// descriptor history alone, a writer can weave references to metadata
+// that concurrent lower-version writers are *still producing* — the
+// paper's key trick for fully parallel metadata generation.
+package mdtree
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/blob"
+)
+
+// NodeID names a segment-tree node. Span is the number of bytes the
+// node covers: a power-of-two multiple of the block size for inner
+// nodes, exactly the block size for leaves.
+type NodeID struct {
+	Blob    blob.ID
+	Version blob.Version
+	Off     int64
+	Span    int64
+}
+
+// Key renders the DHT key for the node.
+func (id NodeID) Key() string {
+	return fmt.Sprintf("t%d/%d/%d/%d", id.Blob, id.Version, id.Off, id.Span)
+}
+
+// Range returns the byte range the node covers.
+func (id NodeID) Range() blob.Range { return blob.Range{Off: id.Off, Len: id.Span} }
+
+// BlockRef locates one stored data block from a leaf.
+type BlockRef struct {
+	Key       blob.BlockKey
+	Providers []string // replica addresses, primary first
+	Len       int64    // bytes actually stored (<= block size; last block may be partial)
+}
+
+// ChildRef points at a child subtree. Version == blob.NoVersion means
+// the child is absent: that region was never written and reads as
+// zeros.
+type ChildRef struct {
+	Version blob.Version
+}
+
+// Present reports whether the child exists.
+func (c ChildRef) Present() bool { return c.Version != blob.NoVersion }
+
+// Node is one stored tree node.
+type Node struct {
+	ID    NodeID
+	Leaf  bool
+	Left  ChildRef // inner nodes only
+	Right ChildRef
+	Block BlockRef // leaves only
+}
+
+// Store is where tree nodes live: the metadata DHT in deployments, an
+// in-memory map in unit tests and the simulator.
+type Store interface {
+	Put(ctx context.Context, n Node) error
+	Get(ctx context.Context, id NodeID) (Node, error)
+}
+
+// putConcurrency bounds parallel node stores during a Build.
+const putConcurrency = 16
+
+// Build generates and stores the metadata tree for version v. The
+// history h must contain descriptors for all versions <= v of the blob
+// (the version manager supplies them — including descriptors of writes
+// still in progress, which is what allows concurrent weaving).
+// blocks[i] describes the i-th block of v's payload. It returns the
+// number of nodes created.
+//
+// Build never reads existing metadata: everything it needs is derived
+// from h, so it proceeds in full parallelism with other writers.
+func Build(ctx context.Context, st Store, meta blob.Meta, h *blob.History, v blob.Version, blocks []BlockRef) (int, error) {
+	d, ok := h.Desc(v)
+	if !ok {
+		return 0, fmt.Errorf("mdtree: history has no descriptor for version %d", v)
+	}
+	update := d.Range()
+	if update.IsEmpty() && !d.Aborted {
+		return 0, fmt.Errorf("mdtree: version %d has an empty write range", v)
+	}
+	if update.Off%meta.BlockSize != 0 {
+		return 0, fmt.Errorf("mdtree: version %d write offset %d not block-aligned", v, update.Off)
+	}
+	want := int(blob.Blocks(update.Len, meta.BlockSize))
+	if len(blocks) != want {
+		return 0, fmt.Errorf("mdtree: version %d: %d block refs for %d blocks", v, len(blocks), want)
+	}
+
+	b := &builder{meta: meta, h: h, v: v, update: update, blocks: blocks}
+	span := blob.SpanBytes(d.SizeAfter, meta.BlockSize)
+	if _, err := b.node(blob.Range{Off: 0, Len: span}); err != nil {
+		return 0, err
+	}
+	if len(b.out) == 0 {
+		return 0, fmt.Errorf("mdtree: version %d produced no nodes", v)
+	}
+	if err := putAll(ctx, st, b.out); err != nil {
+		return 0, err
+	}
+	return len(b.out), nil
+}
+
+type builder struct {
+	meta   blob.Meta
+	h      *blob.History
+	v      blob.Version
+	update blob.Range
+	blocks []BlockRef
+	out    []Node
+}
+
+// node decides how version v covers range r: absent, borrowed from an
+// older version, or materialized at v (recursing into halves).
+func (b *builder) node(r blob.Range) (ChildRef, error) {
+	w := b.h.LatestIntersecting(r, b.v)
+	if w == blob.NoVersion {
+		return ChildRef{}, nil // hole: reads as zeros
+	}
+	if w < b.v {
+		// The node exists at version w iff r fits inside w's root span;
+		// otherwise we must bridge (materialize at v) even though our
+		// own write does not touch r.
+		wSpan := blob.SpanBytes(b.h.SizeAt(w), b.meta.BlockSize)
+		if r.End() <= wSpan {
+			return ChildRef{Version: w}, nil
+		}
+	}
+	// Materialize at v.
+	if r.Len == b.meta.BlockSize {
+		// Leaves intersecting an older write always fit its span, so a
+		// materialized leaf must be one of v's own blocks.
+		if w != b.v {
+			return ChildRef{}, fmt.Errorf("mdtree: internal: leaf %v materialized for version %d but owned by %d", r, b.v, w)
+		}
+		idx := (r.Off - b.update.Off) / b.meta.BlockSize
+		if idx < 0 || idx >= int64(len(b.blocks)) {
+			return ChildRef{}, fmt.Errorf("mdtree: internal: leaf %v outside payload of version %d", r, b.v)
+		}
+		b.out = append(b.out, Node{
+			ID:    NodeID{Blob: b.meta.ID, Version: b.v, Off: r.Off, Span: r.Len},
+			Leaf:  true,
+			Block: b.blocks[idx],
+		})
+		return ChildRef{Version: b.v}, nil
+	}
+	half := r.Len / 2
+	left, err := b.node(blob.Range{Off: r.Off, Len: half})
+	if err != nil {
+		return ChildRef{}, err
+	}
+	right, err := b.node(blob.Range{Off: r.Off + half, Len: half})
+	if err != nil {
+		return ChildRef{}, err
+	}
+	b.out = append(b.out, Node{
+		ID:    NodeID{Blob: b.meta.ID, Version: b.v, Off: r.Off, Span: r.Len},
+		Left:  left,
+		Right: right,
+	})
+	return ChildRef{Version: b.v}, nil
+}
+
+// putAll stores nodes with bounded concurrency; any failure aborts.
+func putAll(ctx context.Context, st Store, nodes []Node) error {
+	sem := make(chan struct{}, putConcurrency)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, n := range nodes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(n Node) {
+			defer func() { <-sem; wg.Done() }()
+			if err := st.Put(ctx, n); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(n)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// PlanNodes returns the node IDs version v would materialize, without
+// storing anything. The version manager's abort-repair and the
+// large-scale simulator use it: repair re-creates exactly these nodes,
+// and the simulator charges one DHT message per planned node.
+func PlanNodes(meta blob.Meta, h *blob.History, v blob.Version) ([]NodeID, error) {
+	d, ok := h.Desc(v)
+	if !ok {
+		return nil, fmt.Errorf("mdtree: history has no descriptor for version %d", v)
+	}
+	n := int(blob.Blocks(d.Len, meta.BlockSize))
+	b := &builder{meta: meta, h: h, v: v, update: d.Range(), blocks: make([]BlockRef, n)}
+	span := blob.SpanBytes(d.SizeAfter, meta.BlockSize)
+	if _, err := b.node(blob.Range{Off: 0, Len: span}); err != nil {
+		return nil, err
+	}
+	ids := make([]NodeID, len(b.out))
+	for i, nd := range b.out {
+		ids[i] = nd.ID
+	}
+	return ids, nil
+}
+
+// Extent is one contiguous piece of a resolved read: Len bytes starting
+// at FileOff in the blob. If HasData, the bytes come from Block
+// starting at DataOff (bytes past Block.Len read as zeros); otherwise
+// the whole extent is a hole and reads as zeros.
+type Extent struct {
+	FileOff int64
+	Len     int64
+	HasData bool
+	Block   BlockRef
+	DataOff int64
+}
+
+// Resolve walks the tree of version v and returns the ordered extents
+// covering r. size is the blob size at v (from the version manager);
+// r is clamped against it. Resolve performs one Store.Get per visited
+// node — O(blocks in r + log(span)) — and needs no history.
+func Resolve(ctx context.Context, st Store, meta blob.Meta, v blob.Version, size int64, r blob.Range) ([]Extent, error) {
+	if v == blob.NoVersion || size <= 0 {
+		return nil, nil
+	}
+	if r.Off < 0 {
+		return nil, fmt.Errorf("mdtree: negative read offset %d", r.Off)
+	}
+	if r.End() > size {
+		r.Len = size - r.Off
+	}
+	if r.IsEmpty() {
+		return nil, nil
+	}
+	res := &resolver{ctx: ctx, st: st, meta: meta, want: r}
+	span := blob.SpanBytes(size, meta.BlockSize)
+	root := blob.Range{Off: 0, Len: span}
+	if err := res.walk(ChildRef{Version: v}, root); err != nil {
+		return nil, err
+	}
+	return res.out, nil
+}
+
+type resolver struct {
+	ctx  context.Context
+	st   Store
+	meta blob.Meta
+	want blob.Range
+	out  []Extent
+}
+
+func (r *resolver) walk(ref ChildRef, cover blob.Range) error {
+	part := cover.Intersection(r.want)
+	if part.IsEmpty() {
+		return nil
+	}
+	if !ref.Present() {
+		r.out = append(r.out, Extent{FileOff: part.Off, Len: part.Len})
+		return nil
+	}
+	id := NodeID{Blob: r.meta.ID, Version: ref.Version, Off: cover.Off, Span: cover.Len}
+	n, err := r.st.Get(r.ctx, id)
+	if err != nil {
+		return fmt.Errorf("mdtree: fetch %s: %w", id.Key(), err)
+	}
+	if n.Leaf {
+		r.out = append(r.out, Extent{
+			FileOff: part.Off,
+			Len:     part.Len,
+			HasData: true,
+			Block:   n.Block,
+			DataOff: part.Off - cover.Off,
+		})
+		return nil
+	}
+	half := cover.Len / 2
+	if err := r.walk(n.Left, blob.Range{Off: cover.Off, Len: half}); err != nil {
+		return err
+	}
+	return r.walk(n.Right, blob.Range{Off: cover.Off + half, Len: half})
+}

@@ -1,0 +1,143 @@
+package mdtree
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/dht"
+	"blobseer/internal/wire"
+)
+
+// EncodeNode serializes a node's value (the identity lives in the key).
+func EncodeNode(n Node) []byte {
+	b := wire.NewBuffer(64)
+	b.Bool(n.Leaf)
+	if n.Leaf {
+		b.U64(uint64(n.Block.Key.Blob))
+		b.U64(n.Block.Key.Nonce)
+		b.U32(n.Block.Key.Seq)
+		b.I64(n.Block.Len)
+		b.StringSlice(n.Block.Providers)
+	} else {
+		b.U64(uint64(n.Left.Version))
+		b.U64(uint64(n.Right.Version))
+	}
+	return b.Bytes()
+}
+
+// DecodeNode parses a node value fetched under id.
+func DecodeNode(id NodeID, val []byte) (Node, error) {
+	r := wire.NewReader(val)
+	n := Node{ID: id}
+	n.Leaf = r.Bool()
+	if n.Leaf {
+		n.Block.Key = blob.BlockKey{
+			Blob:  blob.ID(r.U64()),
+			Nonce: r.U64(),
+			Seq:   r.U32(),
+		}
+		n.Block.Len = r.I64()
+		n.Block.Providers = r.StringSlice()
+	} else {
+		n.Left = ChildRef{Version: blob.Version(r.U64())}
+		n.Right = ChildRef{Version: blob.Version(r.U64())}
+	}
+	if err := r.Err(); err != nil {
+		return Node{}, fmt.Errorf("mdtree: decode %s: %w", id.Key(), err)
+	}
+	return n, nil
+}
+
+// MemStore is an in-process Store used by unit tests, the version
+// manager's repair planner tests and the simulator. It counts
+// operations so experiments can charge DHT message costs.
+type MemStore struct {
+	mu    sync.RWMutex
+	nodes map[string]Node
+	puts  int64
+	gets  int64
+}
+
+// NewMemStore returns an empty in-memory tree store.
+func NewMemStore() *MemStore { return &MemStore{nodes: make(map[string]Node)} }
+
+// Put implements Store.
+func (s *MemStore) Put(_ context.Context, n Node) error {
+	s.mu.Lock()
+	s.nodes[n.ID.Key()] = n
+	s.puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(_ context.Context, id NodeID) (Node, error) {
+	s.mu.Lock()
+	s.gets++
+	n, ok := s.nodes[id.Key()]
+	s.mu.Unlock()
+	if !ok {
+		return Node{}, fmt.Errorf("mdtree: node %s not found", id.Key())
+	}
+	return n, nil
+}
+
+// Has reports whether the node exists (tests).
+func (s *MemStore) Has(id NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.nodes[id.Key()]
+	return ok
+}
+
+// Len returns the number of stored nodes.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// Ops returns cumulative (puts, gets).
+func (s *MemStore) Ops() (puts, gets int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts, s.gets
+}
+
+// DHTStore adapts the metadata DHT client to the tree Store interface —
+// the production path: tree nodes distributed over metadata providers.
+type DHTStore struct {
+	c *dht.Client
+}
+
+// NewDHTStore wraps c.
+func NewDHTStore(c *dht.Client) *DHTStore { return &DHTStore{c: c} }
+
+// Put implements Store.
+func (s *DHTStore) Put(ctx context.Context, n Node) error {
+	return s.c.Put(ctx, n.ID.Key(), EncodeNode(n))
+}
+
+// Get implements Store.
+func (s *DHTStore) Get(ctx context.Context, id NodeID) (Node, error) {
+	val, err := s.c.Get(ctx, id.Key())
+	if err != nil {
+		return Node{}, err
+	}
+	return DecodeNode(id, val)
+}
+
+// Delete implements Deleter (garbage collection of pruned versions).
+func (s *MemStore) Delete(_ context.Context, id NodeID) error {
+	s.mu.Lock()
+	delete(s.nodes, id.Key())
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete implements Deleter.
+func (s *DHTStore) Delete(ctx context.Context, id NodeID) error {
+	return s.c.Delete(ctx, id.Key())
+}

@@ -1,0 +1,226 @@
+package namespace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/fs"
+)
+
+// model is a flat reference namespace: path -> blob ID for files,
+// path -> true for directories. It replays the same operations with
+// straightforward map manipulation; the State must agree with it after
+// every step.
+type model struct {
+	files map[string]blob.ID
+	dirs  map[string]bool
+}
+
+func newModel() *model {
+	return &model{files: map[string]blob.ID{}, dirs: map[string]bool{"/": true}}
+}
+
+func (m *model) mkParents(p string) {
+	for dir := fs.Parent(p); ; dir = fs.Parent(dir) {
+		m.dirs[dir] = true
+		if dir == "/" {
+			break
+		}
+	}
+}
+
+func (m *model) create(p string, id blob.ID, overwrite bool) error {
+	p = fs.Clean(p)
+	if m.dirs[p] {
+		return fs.ErrIsDir
+	}
+	if _, ok := m.files[p]; ok && !overwrite {
+		return fs.ErrExists
+	}
+	// A path component that is a file blocks implicit mkdirs.
+	for dir := fs.Parent(p); dir != "/"; dir = fs.Parent(dir) {
+		if _, ok := m.files[dir]; ok {
+			return fs.ErrNotDir
+		}
+	}
+	m.mkParents(p)
+	m.files[p] = id
+	return nil
+}
+
+func (m *model) mkdirs(p string) error {
+	p = fs.Clean(p)
+	if _, ok := m.files[p]; ok {
+		return fs.ErrNotDir
+	}
+	for dir := fs.Parent(p); dir != "/"; dir = fs.Parent(dir) {
+		if _, ok := m.files[dir]; ok {
+			return fs.ErrNotDir
+		}
+	}
+	m.dirs[p] = true
+	m.mkParents(p)
+	return nil
+}
+
+func (m *model) children(p string) []string {
+	prefix := p
+	if prefix != "/" {
+		prefix += "/"
+	} else {
+		prefix = "/"
+	}
+	var out []string
+	seen := map[string]bool{}
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) && f != p {
+			rest := strings.TrimPrefix(f, prefix)
+			name := strings.SplitN(rest, "/", 2)[0]
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	for d := range m.dirs {
+		if strings.HasPrefix(d, prefix) && d != p {
+			rest := strings.TrimPrefix(d, prefix)
+			name := strings.SplitN(rest, "/", 2)[0]
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *model) delete(p string, recursive bool) error {
+	p = fs.Clean(p)
+	if _, ok := m.files[p]; ok {
+		delete(m.files, p)
+		return nil
+	}
+	if !m.dirs[p] {
+		return fs.ErrNotFound
+	}
+	if p == "/" && !recursive {
+		return fs.ErrNotEmpty
+	}
+	kids := m.children(p)
+	if len(kids) > 0 && !recursive {
+		return fs.ErrNotEmpty
+	}
+	prefix := p + "/"
+	for f := range m.files {
+		if strings.HasPrefix(f, prefix) {
+			delete(m.files, f)
+		}
+	}
+	for d := range m.dirs {
+		if strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	if p != "/" {
+		delete(m.dirs, p)
+	}
+	return nil
+}
+
+// TestNamespaceMatchesModel drives random create/mkdirs/delete/list
+// schedules against both the real namespace state and the flat model,
+// comparing listings and lookups after every operation.
+func TestNamespaceMatchesModel(t *testing.T) {
+	paths := []string{
+		"/a", "/b", "/a/x", "/a/y", "/a/x/1", "/a/x/2", "/b/z", "/c/d/e",
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := newNS()
+		m := newModel()
+		ctx := context.Background()
+
+		for step := 0; step < 200; step++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(4) {
+			case 0: // create file
+				overwrite := rng.Intn(2) == 0
+				id, gotErr := s.CreateFile(ctx, p, 64, 1, overwrite)
+				wantErr := m.create(p, id, overwrite)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d step %d: create %s overwrite=%v: real %v, model %v",
+						seed, step, p, overwrite, gotErr, wantErr)
+				}
+				if gotErr != nil && wantErr != nil && !sameClass(gotErr, wantErr) {
+					t.Fatalf("seed %d step %d: create %s error class: real %v, model %v",
+						seed, step, p, gotErr, wantErr)
+				}
+			case 1: // mkdirs
+				gotErr := s.Mkdirs(p)
+				wantErr := m.mkdirs(p)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d step %d: mkdirs %s: real %v, model %v", seed, step, p, gotErr, wantErr)
+				}
+			case 2: // delete
+				recursive := rng.Intn(2) == 0
+				_, gotErr := s.Delete(p, recursive)
+				wantErr := m.delete(p, recursive)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("seed %d step %d: delete %s recursive=%v: real %v, model %v",
+						seed, step, p, recursive, gotErr, wantErr)
+				}
+			case 3: // verify a random directory listing
+				dir := fs.Parent(p)
+				gotEntries, gotErr := s.List(dir)
+				if gotErr != nil {
+					if !m.dirs[dir] {
+						continue // both agree it's unlistable
+					}
+					t.Fatalf("seed %d step %d: list %s failed: %v", seed, step, dir, gotErr)
+				}
+				var got []string
+				for _, e := range gotEntries {
+					got = append(got, e.Name)
+				}
+				sort.Strings(got)
+				want := m.children(dir)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d step %d: list %s: real %v, model %v", seed, step, dir, got, want)
+				}
+			}
+
+			// Every model file must resolve; every model dir must stat.
+			for f := range m.files {
+				if _, err := s.GetFile(f); err != nil {
+					t.Fatalf("seed %d step %d: model file %s missing: %v", seed, step, f, err)
+				}
+			}
+			for d := range m.dirs {
+				e, err := s.StatEntry(d)
+				if err != nil || !e.IsDir {
+					t.Fatalf("seed %d step %d: model dir %s wrong: %+v, %v", seed, step, d, e, err)
+				}
+			}
+		}
+	}
+}
+
+// sameClass checks two errors wrap the same fs sentinel.
+func sameClass(a, b error) bool {
+	for _, sentinel := range []error{
+		fs.ErrNotFound, fs.ErrExists, fs.ErrIsDir, fs.ErrNotDir, fs.ErrNotEmpty,
+	} {
+		if errors.Is(a, sentinel) != errors.Is(b, sentinel) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package namespace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/fs"
+	"blobseer/internal/rpc"
+)
+
+// counterCreator is a BlobCreator handing out sequential IDs.
+func counterCreator() BlobCreator {
+	var mu sync.Mutex
+	var next blob.ID
+	return func(ctx context.Context, blockSize int64, replication int) (blob.ID, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return next, nil
+	}
+}
+
+func newNS() *State { return NewState(counterCreator()) }
+
+func TestCreateAndGetFile(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	id, err := s.CreateFile(ctx, "/data/input/part-0", 64, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetFile("/data/input/part-0")
+	if err != nil || got != id {
+		t.Fatalf("GetFile = %d, %v", got, err)
+	}
+	// Parents were created implicitly.
+	e, err := s.StatEntry("/data/input")
+	if err != nil || !e.IsDir {
+		t.Errorf("parent dir = %+v, %v", e, err)
+	}
+	if _, err := s.GetFile("/nope"); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("missing file err = %v", err)
+	}
+	if _, err := s.GetFile("/data/input"); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("dir-as-file err = %v", err)
+	}
+}
+
+func TestCreateExclusiveAndOverwrite(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	id1, _ := s.CreateFile(ctx, "/f", 64, 1, false)
+	if _, err := s.CreateFile(ctx, "/f", 64, 1, false); !errors.Is(err, fs.ErrExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	id2, err := s.CreateFile(ctx, "/f", 64, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Error("overwrite did not remap to a new blob")
+	}
+	orphans := s.Orphaned()
+	if len(orphans) != 1 || orphans[0] != id1 {
+		t.Errorf("orphans = %v", orphans)
+	}
+	// Creating over a directory fails.
+	s.Mkdirs("/dir")
+	if _, err := s.CreateFile(ctx, "/dir", 64, 1, true); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("create-over-dir err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	s.CreateFile(ctx, "/d/a", 64, 1, false)
+	s.CreateFile(ctx, "/d/sub/b", 64, 1, false)
+
+	if _, err := s.Delete("/d", false); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Errorf("non-recursive delete of non-empty dir err = %v", err)
+	}
+	orphans, err := s.Delete("/d", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 2 {
+		t.Errorf("orphans = %v", orphans)
+	}
+	if _, err := s.GetFile("/d/a"); !errors.Is(err, fs.ErrNotFound) {
+		t.Error("file survives recursive delete")
+	}
+	if _, err := s.Delete("/ghost", false); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("delete missing err = %v", err)
+	}
+	if _, err := s.Delete("/", true); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("delete root err = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	id, _ := s.CreateFile(ctx, "/a/f", 64, 1, false)
+	if err := s.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetFile("/b/g")
+	if err != nil || got != id {
+		t.Fatalf("after rename GetFile = %d, %v", got, err)
+	}
+	if _, err := s.GetFile("/a/f"); !errors.Is(err, fs.ErrNotFound) {
+		t.Error("source survives rename")
+	}
+	// Rename directory moves the subtree.
+	s.CreateFile(ctx, "/dir/x", 64, 1, false)
+	if err := s.Rename("/dir", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetFile("/moved/x"); err != nil {
+		t.Errorf("subtree not moved: %v", err)
+	}
+	// Destination conflicts are rejected.
+	s.CreateFile(ctx, "/c1", 64, 1, false)
+	s.CreateFile(ctx, "/c2", 64, 1, false)
+	if err := s.Rename("/c1", "/c2"); !errors.Is(err, fs.ErrExists) {
+		t.Errorf("rename onto existing err = %v", err)
+	}
+	// Renaming into one's own subtree is rejected.
+	if err := s.Rename("/moved", "/moved/inside"); err == nil {
+		t.Error("rename into own subtree succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	s.CreateFile(ctx, "/dir/b", 64, 1, false)
+	s.CreateFile(ctx, "/dir/a", 64, 1, false)
+	s.Mkdirs("/dir/sub")
+	entries, err := s.List("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Name != "a" || entries[1].Name != "b" || entries[2].Name != "sub" {
+		t.Errorf("List = %+v", entries)
+	}
+	if !entries[2].IsDir {
+		t.Error("sub not a dir")
+	}
+	if _, err := s.List("/dir/a"); !errors.Is(err, fs.ErrNotDir) {
+		t.Errorf("List of file err = %v", err)
+	}
+	if _, err := s.List("/ghost"); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("List missing err = %v", err)
+	}
+}
+
+func TestServiceOverRPC(t *testing.T) {
+	n := rpc.NewInprocNetwork()
+	svc := NewService(newNS())
+	lis, err := n.Listen("namespace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(svc.Mux())
+	go srv.Serve(lis)
+	defer srv.Close()
+	pool := rpc.NewPool(n.Dial)
+	defer pool.Close()
+	c := NewClient(pool, "namespace")
+	ctx := context.Background()
+
+	id, err := c.CreateFile(ctx, "/x/y", 64, 1, false)
+	if err != nil || id == 0 {
+		t.Fatalf("CreateFile = %d, %v", id, err)
+	}
+	got, err := c.GetFile(ctx, "/x/y")
+	if err != nil || got != id {
+		t.Fatalf("GetFile = %d, %v", got, err)
+	}
+	if _, err := c.GetFile(ctx, "/missing"); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("sentinel across RPC = %v", err)
+	}
+	if err := c.Mkdirs(ctx, "/m/k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(ctx, "/x/y", "/m/k/z"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.List(ctx, "/m/k")
+	if err != nil || len(entries) != 1 || entries[0].Name != "z" {
+		t.Fatalf("List = %+v, %v", entries, err)
+	}
+	e, err := c.StatEntry(ctx, "/m/k/z")
+	if err != nil || e.IsDir || e.Blob != id {
+		t.Fatalf("StatEntry = %+v, %v", e, err)
+	}
+	orphans, err := c.Delete(ctx, "/m", true)
+	if err != nil || len(orphans) != 1 || orphans[0] != id {
+		t.Fatalf("Delete = %v, %v", orphans, err)
+	}
+}
+
+func TestConcurrentCreatesDistinct(t *testing.T) {
+	s := newNS()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	ids := make([]blob.ID, 32)
+	okCount := 0
+	var mu sync.Mutex
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.CreateFile(ctx, "/contested", 64, 1, false)
+			if err == nil {
+				mu.Lock()
+				okCount++
+				ids[i] = id
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if okCount != 1 {
+		t.Errorf("%d exclusive creates succeeded, want 1", okCount)
+	}
+}

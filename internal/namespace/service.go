@@ -1,0 +1,259 @@
+package namespace
+
+import (
+	"context"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/fs"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wire"
+)
+
+// Service is the RPC shell around State.
+type Service struct {
+	state *State
+}
+
+// NewService wraps state.
+func NewService(state *State) *Service { return &Service{state: state} }
+
+// State exposes the core (tests).
+func (s *Service) State() *State { return s.state }
+
+// Mux returns the RPC dispatch table.
+func (s *Service) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mCreateFile, s.handleCreateFile)
+	m.Handle(mGetFile, s.handleGetFile)
+	m.Handle(mMkdirs, s.handleMkdirs)
+	m.Handle(mDelete, s.handleDelete)
+	m.Handle(mRename, s.handleRename)
+	m.Handle(mList, s.handleList)
+	m.Handle(mStatEntry, s.handleStatEntry)
+	return m
+}
+
+func (s *Service) handleCreateFile(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	blockSize := r.I64()
+	replication := int(r.U32())
+	overwrite := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	id, err := s.state.CreateFile(context.Background(), path, blockSize, replication, overwrite)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleGetFile(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	id, err := s.state.GetFile(path)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.state.Mkdirs(path))
+}
+
+func (s *Service) handleDelete(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	recursive := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	orphans, err := s.state.Delete(path, recursive)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(4 + 8*len(orphans))
+	b.U32(uint32(len(orphans)))
+	for _, id := range orphans {
+		b.U64(uint64(id))
+	}
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleRename(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	src := r.String()
+	dst := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fs.WrapErr(s.state.Rename(src, dst))
+}
+
+func (s *Service) handleList(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := s.state.List(path)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(64)
+	b.U32(uint32(len(entries)))
+	for _, e := range entries {
+		b.String(e.Name)
+		b.Bool(e.IsDir)
+		b.U64(uint64(e.Blob))
+	}
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleStatEntry(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	path := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e, err := s.state.StatEntry(path)
+	if err != nil {
+		return nil, fs.WrapErr(err)
+	}
+	b := wire.NewBuffer(32)
+	b.String(e.Name)
+	b.Bool(e.IsDir)
+	b.U64(uint64(e.Blob))
+	return b.Bytes(), nil
+}
+
+// Client is the namespace-manager RPC client.
+type Client struct {
+	pool *rpc.Pool
+	addr string
+}
+
+// NewClient returns a client for the namespace manager at addr.
+func NewClient(pool *rpc.Pool, addr string) *Client {
+	return &Client{pool: pool, addr: addr}
+}
+
+func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
+	cl, err := c.pool.Get(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(ctx, m, payload)
+	if err != nil {
+		return nil, fs.UnwrapErr(err)
+	}
+	return resp, nil
+}
+
+// CreateFile registers a new file backed by a fresh BLOB.
+func (c *Client) CreateFile(ctx context.Context, path string, blockSize int64, replication int, overwrite bool) (blob.ID, error) {
+	b := wire.NewBuffer(32)
+	b.String(path)
+	b.I64(blockSize)
+	b.U32(uint32(replication))
+	b.Bool(overwrite)
+	resp, err := c.call(ctx, mCreateFile, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	id := blob.ID(r.U64())
+	return id, r.Err()
+}
+
+// GetFile resolves a path to its BLOB.
+func (c *Client) GetFile(ctx context.Context, path string) (blob.ID, error) {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	resp, err := c.call(ctx, mGetFile, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	id := blob.ID(r.U64())
+	return id, r.Err()
+}
+
+// Mkdirs creates a directory chain.
+func (c *Client) Mkdirs(ctx context.Context, path string) error {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	_, err := c.call(ctx, mMkdirs, b.Bytes())
+	return err
+}
+
+// Delete unlinks a path, returning orphaned blob IDs.
+func (c *Client) Delete(ctx context.Context, path string, recursive bool) ([]blob.ID, error) {
+	b := wire.NewBuffer(20)
+	b.String(path)
+	b.Bool(recursive)
+	resp, err := c.call(ctx, mDelete, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([]blob.ID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, blob.ID(r.U64()))
+	}
+	return out, r.Err()
+}
+
+// Rename moves a path.
+func (c *Client) Rename(ctx context.Context, src, dst string) error {
+	b := wire.NewBuffer(32)
+	b.String(src)
+	b.String(dst)
+	_, err := c.call(ctx, mRename, b.Bytes())
+	return err
+}
+
+// List enumerates a directory.
+func (c *Client) List(ctx context.Context, path string) ([]Entry, error) {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	resp, err := c.call(ctx, mList, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([]Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, Entry{Name: r.String(), IsDir: r.Bool(), Blob: blob.ID(r.U64())})
+	}
+	return out, r.Err()
+}
+
+// StatEntry describes one path.
+func (c *Client) StatEntry(ctx context.Context, path string) (Entry, error) {
+	b := wire.NewBuffer(16)
+	b.String(path)
+	resp, err := c.call(ctx, mStatEntry, b.Bytes())
+	if err != nil {
+		return Entry{}, err
+	}
+	r := wire.NewReader(resp)
+	e := Entry{Name: r.String(), IsDir: r.Bool(), Blob: blob.ID(r.U64())}
+	return e, r.Err()
+}

@@ -1,0 +1,250 @@
+// Package placement implements the block placement strategies compared
+// in the paper. The provider manager (BlobSeer), the namenode (the
+// HDFS-like baseline) and the large-scale simulator all share these
+// implementations, so the load-balancing behaviour measured in
+// Figure 3(b) comes from the exact same code everywhere.
+//
+// Strategies are stateful (the round-robin cursor, the sticky window)
+// and not safe for concurrent use; the owning manager serializes calls.
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"blobseer/internal/util"
+)
+
+// Node describes one storage node as seen by an allocator.
+type Node struct {
+	Addr   string // RPC endpoint
+	Host   string // physical host (for locality decisions)
+	Blocks int64  // blocks currently stored (allocators update this)
+	Alive  bool
+}
+
+// ErrNoProviders is returned when no alive node can satisfy a request.
+var ErrNoProviders = errors.New("placement: no alive providers")
+
+// Strategy selects storage targets for new blocks.
+type Strategy interface {
+	// Pick returns, for each of n blocks, `replicas` distinct nodes.
+	// Implementations update Node.Blocks for the choices they make so
+	// consecutive calls observe their own load. clientHost is the host
+	// of the writing client ("" if unknown / not co-deployed).
+	Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error)
+	Name() string
+}
+
+func alive(nodes []*Node) []*Node {
+	out := make([]*Node, 0, len(nodes))
+	for _, nd := range nodes {
+		if nd.Alive {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// spreadReplicas fills targets[1:] with distinct nodes following the
+// primary in index order (wrapping), charging each for the stored block.
+func spreadReplicas(primaryIdx, replicas int, pool []*Node, targets []*Node) error {
+	if replicas > len(pool) {
+		return fmt.Errorf("placement: replication %d exceeds %d alive providers", replicas, len(pool))
+	}
+	targets[0] = pool[primaryIdx]
+	pool[primaryIdx].Blocks++
+	for r := 1; r < replicas; r++ {
+		idx := (primaryIdx + r) % len(pool)
+		targets[r] = pool[idx]
+		pool[idx].Blocks++
+	}
+	return nil
+}
+
+// RoundRobin is BlobSeer's default strategy: blocks are dealt to
+// providers in strict rotation, producing the near-ideal balance the
+// paper credits for BSFS's sustained throughput (Section V-D).
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a fresh round-robin allocator.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Strategy.
+func (s *RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Strategy.
+func (s *RoundRobin) Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error) {
+	pool := alive(nodes)
+	if len(pool) == 0 {
+		return nil, ErrNoProviders
+	}
+	out := make([][]*Node, n)
+	for i := range out {
+		out[i] = make([]*Node, replicas)
+		if err := spreadReplicas(s.next%len(pool), replicas, pool, out[i]); err != nil {
+			return nil, err
+		}
+		s.next = (s.next + 1) % len(pool)
+	}
+	return out, nil
+}
+
+// Random places each block on an independently uniform node.
+type Random struct {
+	rng *util.SplitMix64
+}
+
+// NewRandom returns a seeded uniform-random allocator.
+func NewRandom(seed uint64) *Random { return &Random{rng: util.NewSplitMix64(seed)} }
+
+// Name implements Strategy.
+func (s *Random) Name() string { return "random" }
+
+// Pick implements Strategy.
+func (s *Random) Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error) {
+	pool := alive(nodes)
+	if len(pool) == 0 {
+		return nil, ErrNoProviders
+	}
+	out := make([][]*Node, n)
+	for i := range out {
+		out[i] = make([]*Node, replicas)
+		if err := spreadReplicas(s.rng.Intn(len(pool)), replicas, pool, out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RandomSticky models the chunk clustering the paper measured for HDFS
+// when a single remote client writes a large file (Figure 3(b)): the
+// namenode picks a target and keeps re-using it for a window of
+// consecutive blocks before switching. Window=1 degenerates to Random;
+// larger windows reproduce larger measured unbalance.
+type RandomSticky struct {
+	Window  int
+	rng     *util.SplitMix64
+	current int
+	used    int
+}
+
+// NewRandomSticky returns a sticky allocator with the given window.
+func NewRandomSticky(window int, seed uint64) *RandomSticky {
+	if window < 1 {
+		window = 1
+	}
+	return &RandomSticky{Window: window, rng: util.NewSplitMix64(seed), current: -1}
+}
+
+// Name implements Strategy.
+func (s *RandomSticky) Name() string { return fmt.Sprintf("randomsticky(%d)", s.Window) }
+
+// Pick implements Strategy.
+func (s *RandomSticky) Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error) {
+	pool := alive(nodes)
+	if len(pool) == 0 {
+		return nil, ErrNoProviders
+	}
+	out := make([][]*Node, n)
+	for i := range out {
+		if s.current < 0 || s.current >= len(pool) || s.used >= s.Window {
+			s.current = s.rng.Intn(len(pool))
+			s.used = 0
+		}
+		out[i] = make([]*Node, replicas)
+		if err := spreadReplicas(s.current, replicas, pool, out[i]); err != nil {
+			return nil, err
+		}
+		s.used++
+	}
+	return out, nil
+}
+
+// LocalFirst is the HDFS 0.20 default policy: if the writing client is
+// co-deployed with a storage node, the first replica lands there;
+// otherwise the Fallback strategy decides. This is why the paper's
+// Section V-D deploys test clients on dedicated nodes — otherwise HDFS
+// stores the whole file locally.
+type LocalFirst struct {
+	Fallback Strategy
+}
+
+// NewLocalFirst wraps fallback with local-first behaviour.
+func NewLocalFirst(fallback Strategy) *LocalFirst { return &LocalFirst{Fallback: fallback} }
+
+// Name implements Strategy.
+func (s *LocalFirst) Name() string { return "localfirst+" + s.Fallback.Name() }
+
+// Pick implements Strategy.
+func (s *LocalFirst) Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error) {
+	pool := alive(nodes)
+	if len(pool) == 0 {
+		return nil, ErrNoProviders
+	}
+	localIdx := -1
+	if clientHost != "" {
+		for i, nd := range pool {
+			if nd.Host == clientHost {
+				localIdx = i
+				break
+			}
+		}
+	}
+	if localIdx < 0 {
+		return s.Fallback.Pick(n, replicas, clientHost, nodes)
+	}
+	out := make([][]*Node, n)
+	for i := range out {
+		out[i] = make([]*Node, replicas)
+		if err := spreadReplicas(localIdx, replicas, pool, out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// LeastLoaded greedily picks the node currently storing the fewest
+// blocks; with a single writer it behaves like round-robin, but it also
+// absorbs heterogeneous starting loads.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the greedy balancer.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Strategy.
+func (s *LeastLoaded) Name() string { return "leastloaded" }
+
+// Pick implements Strategy.
+func (s *LeastLoaded) Pick(n, replicas int, clientHost string, nodes []*Node) ([][]*Node, error) {
+	pool := alive(nodes)
+	if len(pool) == 0 {
+		return nil, ErrNoProviders
+	}
+	out := make([][]*Node, n)
+	for i := range out {
+		best := 0
+		for j, nd := range pool {
+			if nd.Blocks < pool[best].Blocks {
+				best = j
+			}
+		}
+		out[i] = make([]*Node, replicas)
+		if err := spreadReplicas(best, replicas, pool, out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Layout summarizes a placement as blocks-per-node counts keyed by the
+// node order given, for the Figure 3(b) unbalance metric.
+func Layout(nodes []*Node) []int {
+	counts := make([]int, len(nodes))
+	for i, nd := range nodes {
+		counts[i] = int(nd.Blocks)
+	}
+	return counts
+}

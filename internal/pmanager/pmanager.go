@@ -1,0 +1,324 @@
+// Package pmanager implements BlobSeer's provider manager (Section
+// III-B): it tracks the data providers that joined the system and
+// schedules the placement of newly generated blocks through a
+// configurable placement strategy — round-robin by default, which is
+// the load-balancing behaviour the paper credits for BSFS's sustained
+// throughput.
+package pmanager
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"blobseer/internal/placement"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wire"
+)
+
+// RPC method numbers.
+const (
+	mRegister uint16 = iota + 1
+	mAllocate
+	mList
+	mMarkDead
+	mHeartbeat
+)
+
+// CodeNoProviders maps placement.ErrNoProviders across the wire.
+const CodeNoProviders uint16 = 30
+
+// State is the provider manager's pure core (no I/O): membership plus
+// the placement strategy. Safe for concurrent use; allocation calls are
+// serialized so stateful strategies (round-robin cursor, sticky
+// windows) behave deterministically.
+type State struct {
+	mu       sync.Mutex
+	nodes    []*placement.Node
+	byAddr   map[string]*placement.Node
+	lastSeen map[string]time.Time
+	strategy placement.Strategy
+}
+
+// NewState returns a core using the given strategy.
+func NewState(strategy placement.Strategy) *State {
+	return &State{
+		byAddr:   make(map[string]*placement.Node),
+		lastSeen: make(map[string]time.Time),
+		strategy: strategy,
+	}
+}
+
+// Register adds (or revives) a provider.
+func (s *State) Register(addr, host string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byAddr[addr]; ok {
+		n.Alive = true
+		n.Host = host
+		s.lastSeen[addr] = time.Now()
+		return
+	}
+	n := &placement.Node{Addr: addr, Host: host, Alive: true}
+	s.nodes = append(s.nodes, n)
+	s.byAddr[addr] = n
+	s.lastSeen[addr] = time.Now()
+}
+
+// Heartbeat refreshes a provider's liveness.
+func (s *State) Heartbeat(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byAddr[addr]; ok {
+		n.Alive = true
+		s.lastSeen[addr] = time.Now()
+	}
+}
+
+// MarkDead removes a provider from allocation (failure injection,
+// failed-write feedback).
+func (s *State) MarkDead(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byAddr[addr]; ok {
+		n.Alive = false
+	}
+}
+
+// ExpireStale marks providers silent for longer than maxAge as dead
+// and returns how many it expired.
+func (s *State) ExpireStale(maxAge time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-maxAge)
+	n := 0
+	for addr, at := range s.lastSeen {
+		if at.Before(cutoff) && s.byAddr[addr].Alive {
+			s.byAddr[addr].Alive = false
+			n++
+		}
+	}
+	return n
+}
+
+// Allocate picks, for each of nBlocks blocks, `replicas` distinct
+// provider addresses.
+func (s *State) Allocate(nBlocks, replicas int, clientHost string) ([][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	targets, err := s.strategy.Pick(nBlocks, replicas, clientHost, s.nodes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(targets))
+	for i, set := range targets {
+		addrs := make([]string, len(set))
+		for j, nd := range set {
+			addrs[j] = nd.Addr
+		}
+		out[i] = addrs
+	}
+	return out, nil
+}
+
+// ProviderInfo is one row of the provider listing.
+type ProviderInfo struct {
+	Addr   string
+	Host   string
+	Blocks int64
+	Alive  bool
+}
+
+// List returns a snapshot of the membership.
+func (s *State) List() []ProviderInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProviderInfo, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = ProviderInfo{Addr: n.Addr, Host: n.Host, Blocks: n.Blocks, Alive: n.Alive}
+	}
+	return out
+}
+
+// Layout returns blocks-per-provider counts (Figure 3(b) metric).
+func (s *State) Layout() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return placement.Layout(s.nodes)
+}
+
+// Service is the RPC shell around State.
+type Service struct {
+	state *State
+}
+
+// NewService wraps state.
+func NewService(state *State) *Service { return &Service{state: state} }
+
+// State exposes the core.
+func (s *Service) State() *State { return s.state }
+
+// Mux returns the RPC dispatch table.
+func (s *Service) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mRegister, s.handleRegister)
+	m.Handle(mAllocate, s.handleAllocate)
+	m.Handle(mList, s.handleList)
+	m.Handle(mMarkDead, s.handleMarkDead)
+	m.Handle(mHeartbeat, s.handleHeartbeat)
+	return m
+}
+
+func (s *Service) handleRegister(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr := r.String()
+	host := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.state.Register(addr, host)
+	return nil, nil
+}
+
+func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.state.Heartbeat(addr)
+	return nil, nil
+}
+
+func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.state.MarkDead(addr)
+	return nil, nil
+}
+
+func (s *Service) handleAllocate(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	nBlocks := int(r.U32())
+	replicas := int(r.U32())
+	clientHost := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	targets, err := s.state.Allocate(nBlocks, replicas, clientHost)
+	if err != nil {
+		if errors.Is(err, placement.ErrNoProviders) {
+			return nil, rpc.CodedError(CodeNoProviders, err.Error())
+		}
+		return nil, err
+	}
+	b := wire.NewBuffer(64)
+	b.U32(uint32(len(targets)))
+	for _, set := range targets {
+		b.StringSlice(set)
+	}
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleList(p []byte) ([]byte, error) {
+	infos := s.state.List()
+	b := wire.NewBuffer(64)
+	b.U32(uint32(len(infos)))
+	for _, in := range infos {
+		b.String(in.Addr)
+		b.String(in.Host)
+		b.I64(in.Blocks)
+		b.Bool(in.Alive)
+	}
+	return b.Bytes(), nil
+}
+
+// Client is the provider-manager RPC client.
+type Client struct {
+	pool *rpc.Pool
+	addr string
+}
+
+// NewClient returns a client for the provider manager at addr.
+func NewClient(pool *rpc.Pool, addr string) *Client {
+	return &Client{pool: pool, addr: addr}
+}
+
+func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
+	cl, err := c.pool.Get(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Call(ctx, m, payload)
+}
+
+// Register announces a provider.
+func (c *Client) Register(ctx context.Context, addr, host string) error {
+	b := wire.NewBuffer(16)
+	b.String(addr)
+	b.String(host)
+	_, err := c.call(ctx, mRegister, b.Bytes())
+	return err
+}
+
+// Heartbeat refreshes liveness.
+func (c *Client) Heartbeat(ctx context.Context, addr string) error {
+	b := wire.NewBuffer(16)
+	b.String(addr)
+	_, err := c.call(ctx, mHeartbeat, b.Bytes())
+	return err
+}
+
+// MarkDead removes a provider from allocation.
+func (c *Client) MarkDead(ctx context.Context, addr string) error {
+	b := wire.NewBuffer(16)
+	b.String(addr)
+	_, err := c.call(ctx, mMarkDead, b.Bytes())
+	return err
+}
+
+// Allocate requests placement targets for nBlocks blocks.
+func (c *Client) Allocate(ctx context.Context, nBlocks, replicas int, clientHost string) ([][]string, error) {
+	b := wire.NewBuffer(16)
+	b.U32(uint32(nBlocks))
+	b.U32(uint32(replicas))
+	b.String(clientHost)
+	resp, err := c.call(ctx, mAllocate, b.Bytes())
+	if err != nil {
+		if rpc.CodeOf(err) == CodeNoProviders {
+			return nil, placement.ErrNoProviders
+		}
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([][]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, r.StringSlice())
+	}
+	return out, r.Err()
+}
+
+// List fetches the membership snapshot.
+func (c *Client) List(ctx context.Context) ([]ProviderInfo, error) {
+	resp, err := c.call(ctx, mList, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([]ProviderInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, ProviderInfo{
+			Addr:   r.String(),
+			Host:   r.String(),
+			Blocks: r.I64(),
+			Alive:  r.Bool(),
+		})
+	}
+	return out, r.Err()
+}

@@ -1,0 +1,355 @@
+// Package rpc is the minimal remote-procedure-call layer every daemon
+// in the reproduction is built on: pipelined request/response over a
+// single connection, numeric method dispatch, and pluggable transports
+// (real TCP for deployments, an in-process network for tests and
+// embedded clusters).
+//
+// Frame layout (inside a wire frame):
+//
+//	u64 request id | u16 method | u8 flags | u16 status | payload...
+//
+// flags bit 0 marks a response. status is non-zero on a response whose
+// payload is an error message; services map status codes back to
+// sentinel errors.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"blobseer/internal/wire"
+)
+
+const flagResponse = 1
+
+// StatusOK marks a successful response.
+const StatusOK uint16 = 0
+
+// StatusError is the generic failure status used when a handler returns
+// an error that carries no specific code.
+const StatusError uint16 = 1
+
+// statusTransport marks a locally-generated failure: the connection
+// died while a call was in flight.
+const statusTransport uint16 = 0xffff
+
+// ErrConnBroken wraps transport-level call failures so callers can
+// distinguish them from remote application errors and retry safely.
+var ErrConnBroken = errors.New("rpc: connection broken")
+
+// RemoteError is an error returned by the remote handler.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error (code %d): %s", e.Code, e.Msg)
+}
+
+// Coder is implemented by errors that carry a protocol status code so
+// they survive the wire round-trip as something machine-checkable.
+type Coder interface{ RPCCode() uint16 }
+
+// CodedError creates an error carrying an explicit status code.
+func CodedError(code uint16, msg string) error { return &codedError{code: code, msg: msg} }
+
+type codedError struct {
+	code uint16
+	msg  string
+}
+
+func (e *codedError) Error() string   { return e.msg }
+func (e *codedError) RPCCode() uint16 { return e.code }
+
+// CodeOf extracts the status code from err (StatusError if none).
+func CodeOf(err error) uint16 {
+	var c Coder
+	if errors.As(err, &c) {
+		return c.RPCCode()
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	return StatusError
+}
+
+// HandlerFunc processes one request payload and returns a response
+// payload or an error.
+type HandlerFunc func(payload []byte) ([]byte, error)
+
+// Mux dispatches requests by method number. The zero value is usable.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[uint16]HandlerFunc
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux { return &Mux{handlers: make(map[uint16]HandlerFunc)} }
+
+// Handle registers fn for method m, replacing any previous handler.
+func (x *Mux) Handle(m uint16, fn HandlerFunc) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.handlers == nil {
+		x.handlers = make(map[uint16]HandlerFunc)
+	}
+	x.handlers[m] = fn
+}
+
+func (x *Mux) lookup(m uint16) (HandlerFunc, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	fn, ok := x.handlers[m]
+	return fn, ok
+}
+
+// Server serves RPC requests on accepted connections. Each request runs
+// in its own goroutine, so handlers may block (the version manager's
+// wait-for-publication call relies on this).
+type Server struct {
+	mux *Mux
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server dispatching through mux.
+func NewServer(mux *Mux) *Server {
+	return &Server{mux: mux, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections from lis until the server is closed. It
+// always returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return net.ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections, waiting for in-flight
+// handlers to finish writing.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	var wmu sync.Mutex // serializes response frames on the shared conn
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	for {
+		frame, err := wire.ReadFrame(conn, 0)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		id := r.U64()
+		method := r.U16()
+		flags := r.U8()
+		_ = r.U16() // status unused on requests
+		if r.Err() != nil || flags&flagResponse != 0 {
+			return // protocol violation; drop the connection
+		}
+		payload := frame[len(frame)-r.Remaining():]
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			resp, status := s.dispatch(method, payload)
+			buf := wire.NewBuffer(13 + len(resp))
+			buf.U64(id)
+			buf.U16(method)
+			buf.U8(flagResponse)
+			buf.U16(status)
+			out := append(buf.Bytes(), resp...)
+			wmu.Lock()
+			err := wire.WriteFrame(conn, out)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func (s *Server) dispatch(method uint16, payload []byte) ([]byte, uint16) {
+	fn, ok := s.mux.lookup(method)
+	if !ok {
+		return []byte(fmt.Sprintf("unknown method %d", method)), StatusError
+	}
+	resp, err := fn(payload)
+	if err != nil {
+		return []byte(err.Error()), CodeOf(err)
+	}
+	return resp, StatusOK
+}
+
+// Client is a pipelined RPC client over one connection. It is safe for
+// concurrent use; concurrent Calls share the connection.
+type Client struct {
+	conn net.Conn
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	err     error // set once the read loop dies
+
+	wmu sync.Mutex // serializes request frames
+}
+
+type callResult struct {
+	payload []byte
+	status  uint16
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan callResult)}
+	go c.readLoop()
+	return c
+}
+
+// Call sends a request and waits for its response or ctx cancellation.
+func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan callResult, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf := wire.NewBuffer(13 + len(payload))
+	buf.U64(id)
+	buf.U16(method)
+	buf.U8(0)
+	buf.U16(0)
+	frame := append(buf.Bytes(), payload...)
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.conn, frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	select {
+	case res := <-ch:
+		switch res.status {
+		case StatusOK:
+			return res.payload, nil
+		case statusTransport:
+			return nil, fmt.Errorf("%w: %s", ErrConnBroken, res.payload)
+		default:
+			return nil, &RemoteError{Code: res.status, Msg: string(res.payload)}
+		}
+	case <-ctx.Done():
+		c.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var frame []byte
+		frame, err = wire.ReadFrame(c.conn, 0)
+		if err != nil {
+			break
+		}
+		r := wire.NewReader(frame)
+		id := r.U64()
+		_ = r.U16() // method echo
+		flags := r.U8()
+		status := r.U16()
+		if r.Err() != nil || flags&flagResponse == 0 {
+			err = errors.New("rpc: protocol violation in response")
+			break
+		}
+		payload := frame[len(frame)-r.Remaining():]
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- callResult{payload: payload, status: status}
+		}
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		err = fmt.Errorf("rpc: connection closed: %w", err)
+	}
+	c.mu.Lock()
+	c.err = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- callResult{payload: []byte(err.Error()), status: statusTransport}
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}

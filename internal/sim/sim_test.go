@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSleepOrdering(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	env.Go(func(p *Proc) {
+		p.Sleep(20 * Millisecond)
+		order = append(order, 2)
+	})
+	env.Go(func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		order = append(order, 1)
+	})
+	env.Go(func(p *Proc) {
+		p.Sleep(30 * Millisecond)
+		order = append(order, 3)
+	})
+	end := env.Run()
+	if end != 30*Millisecond {
+		t.Errorf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if env.Procs() != 0 {
+		t.Errorf("leaked %d procs", env.Procs())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go(func(p *Proc) {
+			p.Sleep(Millisecond)
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	env := NewEnv()
+	ev := env.NewEvent()
+	woken := 0
+	for i := 0; i < 4; i++ {
+		env.Go(func(p *Proc) {
+			ev.Wait(p)
+			woken++
+			if p.Now() != 7*Millisecond {
+				t.Errorf("woken at %v", p.Now())
+			}
+		})
+	}
+	env.Go(func(p *Proc) {
+		p.Sleep(7 * Millisecond)
+		ev.Fire()
+	})
+	env.Run()
+	if woken != 4 {
+		t.Errorf("woken = %d", woken)
+	}
+	// Waiting on a fired event returns immediately.
+	env2 := NewEnv()
+	ev2 := env2.NewEvent()
+	ev2.Fire()
+	ran := false
+	env2.Go(func(p *Proc) {
+		ev2.Wait(p)
+		ran = true
+	})
+	env2.Run()
+	if !ran {
+		t.Error("wait on fired event blocked")
+	}
+	if !ev2.Fired() {
+		t.Error("Fired() false after Fire")
+	}
+}
+
+func TestDoubleFireHarmless(t *testing.T) {
+	env := NewEnv()
+	ev := env.NewEvent()
+	env.Go(func(p *Proc) { ev.Fire(); ev.Fire() })
+	env.Run()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	env := NewEnv()
+	res := env.NewResource(1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		env.Go(func(p *Proc) {
+			res.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	env := NewEnv()
+	res := env.NewResource(2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		env.Go(func(p *Proc) {
+			res.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	// 2 at t=10ms, 2 at t=20ms.
+	if finish[0] != 10*Millisecond || finish[1] != 10*Millisecond ||
+		finish[2] != 20*Millisecond || finish[3] != 20*Millisecond {
+		t.Errorf("finish = %v", finish)
+	}
+}
+
+func TestResourceNoOvercommit(t *testing.T) {
+	// Stagger arrivals so releases and arrivals interleave at shared
+	// instants; the in-service count must never exceed the server count.
+	env := NewEnv()
+	res := env.NewResource(2)
+	inService, maxIn := 0, 0
+	for i := 0; i < 12; i++ {
+		i := i
+		env.Go(func(p *Proc) {
+			p.Sleep(Time(i%3) * Millisecond)
+			res.Use(p, Millisecond) // occupies a server for 1ms
+			// Track occupancy via a zero-length critical section probe:
+			inService++
+			if inService > maxIn {
+				maxIn = inService
+			}
+			inService--
+		})
+	}
+	env.Run()
+	if res.busy != 0 || res.QueueLen() != 0 {
+		t.Errorf("resource not drained: busy=%d queue=%d", res.busy, res.QueueLen())
+	}
+}
+
+func TestCallRunsInOrder(t *testing.T) {
+	env := NewEnv()
+	var got []int
+	env.Go(func(p *Proc) {
+		env.Call(5*Millisecond, func() { got = append(got, 2) })
+		env.Call(1*Millisecond, func() { got = append(got, 1) })
+		p.Sleep(10 * Millisecond)
+		got = append(got, 3)
+	})
+	env.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv()
+	fired := 0
+	env.Go(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10 * Millisecond)
+			fired++
+		}
+	})
+	env.RunUntil(35 * Millisecond)
+	if fired != 3 {
+		t.Errorf("fired = %d at %v", fired, env.Now())
+	}
+	env.Run()
+	if fired != 10 {
+		t.Errorf("fired = %d after drain", fired)
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	env := NewEnv()
+	env.Go(func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for negative Call delay after time advanced")
+			}
+			// Unwind cleanly: the kernel expects a final park, which the
+			// deferred recover path provides by finishing the proc.
+		}()
+		p.Sleep(Millisecond)
+		env.Call(-2*Millisecond, func() {})
+	})
+	env.Run()
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion")
+	}
+	if DurationFromSeconds(0.5) != 500*Millisecond {
+		t.Error("DurationFromSeconds conversion")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		env := NewEnv()
+		var out []Time
+		ev := env.NewEvent()
+		res := env.NewResource(1)
+		for i := 0; i < 5; i++ {
+			i := i
+			env.Go(func(p *Proc) {
+				p.Sleep(Time(i) * Millisecond)
+				res.Use(p, 2*Millisecond)
+				if i == 3 {
+					ev.Fire()
+				}
+				out = append(out, p.Now())
+			})
+		}
+		env.Go(func(p *Proc) {
+			ev.Wait(p)
+			out = append(out, p.Now())
+		})
+		env.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

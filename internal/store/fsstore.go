@@ -1,0 +1,173 @@
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// FSStore is a file-backed Store: each key becomes one file whose name
+// is the hex encoding of the key (safe for arbitrary key bytes). It is
+// the durable engine for real deployments of providers and metadata
+// providers; experiments default to MemStore.
+type FSStore struct {
+	dir  string
+	sync bool // fsync after writes
+
+	mu sync.RWMutex // guards cross-file operations (DeletePrefix vs Put races)
+}
+
+// NewFSStore opens (creating if needed) a store rooted at dir. If
+// syncWrites is set, every Put is fsynced before returning.
+func NewFSStore(dir string, syncWrites bool) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fsstore: %w", err)
+	}
+	return &FSStore{dir: dir, sync: syncWrites}, nil
+}
+
+func (s *FSStore) path(key string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(key)))
+}
+
+// Put implements Store.
+func (s *FSStore) Put(key string, val []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tmp := s.path(key) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fsstore: put %s: %w", key, err)
+	}
+	if _, err := f.Write(val); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsstore: put %s: %w", key, err)
+	}
+	if s.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("fsstore: sync %s: %w", key, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsstore: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FSStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// GetRange implements Store.
+func (s *FSStore) GetRange(key string, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := os.Open(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	o, l := clampRange(fi.Size(), off, length)
+	buf := make([]byte, l)
+	if l == 0 {
+		return buf, nil
+	}
+	if _, err := f.ReadAt(buf, o); err != nil {
+		return nil, fmt.Errorf("fsstore: read %s: %w", key, err)
+	}
+	return buf, nil
+}
+
+// Has implements Store.
+func (s *FSStore) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(key string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	err := os.Remove(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// DeletePrefix implements Store.
+func (s *FSStore) DeletePrefix(prefix string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	hexPrefix := hex.EncodeToString([]byte(prefix))
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") || !strings.HasPrefix(name, hexPrefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Stats implements Store.
+func (s *FSStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return st
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		st.Items++
+		st.Bytes += fi.Size()
+	}
+	return st
+}
+
+// Close implements Store.
+func (s *FSStore) Close() error { return nil }

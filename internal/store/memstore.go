@@ -1,0 +1,123 @@
+package store
+
+import (
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+const memShards = 16
+
+// MemStore is a sharded in-memory Store. Values are copied on Put and
+// Get so callers can reuse buffers freely.
+type MemStore struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	s := &MemStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *MemStore) shard(key string) *memShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%memShards]
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, val []byte) error {
+	cp := append([]byte(nil), val...)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.m[key] = cp
+	sh.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// GetRange implements Store.
+func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	o, l := clampRange(int64(len(v)), off, length)
+	return append([]byte(nil), v[o:o+l]...), nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(key string) bool {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	_, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	return nil
+}
+
+// DeletePrefix implements Store.
+func (s *MemStore) DeletePrefix(prefix string) (int, error) {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if strings.HasPrefix(k, prefix) {
+				delete(sh.m, k)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n, nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats {
+	var st Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Items += int64(len(sh.m))
+		for _, v := range sh.m {
+			st.Bytes += int64(len(v))
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,54 @@
+// Package store provides the storage engines behind data providers and
+// metadata providers: a sharded in-memory store (the default for
+// experiments, mirroring the paper's RAM-resident providers) and a
+// file-backed store for durable deployments.
+package store
+
+import "errors"
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("store: key not found")
+
+// Stats summarizes a store's contents.
+type Stats struct {
+	Items int64
+	Bytes int64
+}
+
+// Store is a flat key-value blob store with sub-range reads. Keys are
+// opaque strings (block keys and metadata node identifiers serialize
+// into them). Implementations are safe for concurrent use.
+type Store interface {
+	// Put stores val under key, replacing any previous value.
+	Put(key string, val []byte) error
+	// Get returns the full value (a copy) or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// GetRange returns length bytes starting at off within the value.
+	// Reads beyond the stored length are truncated; off past the end
+	// yields an empty slice.
+	GetRange(key string, off, length int64) ([]byte, error)
+	// Has reports whether key exists.
+	Has(key string) bool
+	// Delete removes key (no error if absent).
+	Delete(key string) error
+	// DeletePrefix removes all keys with the given prefix, returning
+	// the number removed. Used by write-abort garbage collection.
+	DeletePrefix(prefix string) (int, error)
+	// Stats returns item/byte counts.
+	Stats() Stats
+	// Close releases resources.
+	Close() error
+}
+
+func clampRange(valLen, off, length int64) (int64, int64) {
+	if off < 0 {
+		off = 0
+	}
+	if off >= valLen {
+		return valLen, 0
+	}
+	if length < 0 || off+length > valLen {
+		length = valLen - off
+	}
+	return off, length
+}

@@ -1,0 +1,53 @@
+package util
+
+// SplitMix64 is a tiny, fast, deterministic PRNG used where the
+// reproduction needs seedable randomness without pulling in math/rand
+// state (block nonces in tests, synthetic workload generation, the
+// simulator). The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("util: Intn with non-positive bound")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Int63n returns a value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("util: Int63n with non-positive bound")
+	}
+	return int64(s.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,73 @@
+// Package util provides small shared helpers: byte-size constants and
+// formatting, summary statistics, and deterministic RNG plumbing used
+// across the BlobSeer reproduction.
+package util
+
+import "fmt"
+
+// Byte size constants. The paper's experiments use 64 MB blocks (the
+// HDFS chunk size) and 4 KB fine-grain reads.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// FormatBytes renders n as a human-readable base-2 size ("64.0MB").
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.1fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("util: CeilDiv with non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int64) bool { return n > 0 && n&(n-1) == 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

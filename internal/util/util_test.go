@@ -1,0 +1,203 @@
+package util
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.0KB"},
+		{64 * MB, "64.0MB"},
+		{3 * GB / 2, "1.5GB"},
+		{2 * TB, "2.0TB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 4, 0},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{-3, 4, 0},
+		{64 * MB, 64 * MB, 1},
+		{64*MB + 1, 64 * MB, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnBadDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero divisor")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {246, 256}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextPow2Property(t *testing.T) {
+	f := func(n uint16) bool {
+		v := NextPow2(int64(n))
+		return IsPow2(v) && v >= int64(n) && (v == 1 || v/2 < int64(n) || int64(n) <= 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int64{1, 2, 4, 8, 1 << 30} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int64{0, -1, 3, 6, 12, 1<<30 + 1} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	// Perfectly balanced layout has distance 0.
+	if d := ManhattanDistance([]int{3, 3, 3, 3}); d != 0 {
+		t.Errorf("balanced distance = %v", d)
+	}
+	// The paper's example shape: all chunks clustered on few nodes.
+	// 4 blocks all on node 0 of 4 nodes: ideal = 1 each;
+	// |4-1| + 3*|0-1| = 6.
+	if d := ManhattanDistance([]int{4, 0, 0, 0}); d != 6 {
+		t.Errorf("clustered distance = %v, want 6", d)
+	}
+	if d := ManhattanDistance(nil); d != 0 {
+		t.Errorf("empty distance = %v", d)
+	}
+}
+
+func TestManhattanDistanceProperty(t *testing.T) {
+	// Distance is invariant under permutation and zero iff balanced.
+	f := func(a, b, c, d uint8) bool {
+		v1 := []int{int(a), int(b), int(c), int(d)}
+		v2 := []int{int(d), int(c), int(b), int(a)}
+		return math.Abs(ManhattanDistance(v1)-ManhattanDistance(v2)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSplitMix64(43)
+	same := true
+	a = NewSplitMix64(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitMix64Bounds(t *testing.T) {
+	r := NewSplitMix64(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of bounds: %d", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of bounds: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of bounds: %v", f)
+		}
+	}
+}
+
+func TestSplitMix64Perm(t *testing.T) {
+	r := NewSplitMix64(1)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,569 @@
+package vmanager
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wire"
+)
+
+// RPC method numbers.
+const (
+	mCreateBlob uint16 = iota + 1
+	mGetMeta
+	mAssignVersion
+	mCommit
+	mAbort
+	mLatest
+	mVersionInfo
+	mHistory
+	mWaitPublished
+	mListBlobs
+	mPrune
+)
+
+// RPC status codes for the sentinel errors.
+const (
+	CodeUnknownBlob uint16 = 20 + iota
+	CodeUnaligned
+	CodeBadRange
+	CodeBadVersion
+	CodeTimeout
+	CodePruned
+	CodeBadPrune
+)
+
+func codeFor(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrUnknownBlob):
+		return CodeUnknownBlob
+	case errors.Is(err, ErrUnaligned):
+		return CodeUnaligned
+	case errors.Is(err, ErrBadRange):
+		return CodeBadRange
+	case errors.Is(err, ErrBadVersion):
+		return CodeBadVersion
+	case errors.Is(err, ErrTimeout):
+		return CodeTimeout
+	case errors.Is(err, ErrPruned):
+		return CodePruned
+	case errors.Is(err, ErrBadPrune):
+		return CodeBadPrune
+	default:
+		return rpc.StatusError
+	}
+}
+
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return rpc.CodedError(codeFor(err), err.Error())
+}
+
+// errFromCode converts an RPC error back to the matching sentinel so
+// client-side errors.Is checks work across the wire.
+func errFromCode(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch rpc.CodeOf(err) {
+	case CodeUnknownBlob:
+		return ErrUnknownBlob
+	case CodeUnaligned:
+		return ErrUnaligned
+	case CodeBadRange:
+		return ErrBadRange
+	case CodeBadVersion:
+		return ErrBadVersion
+	case CodeTimeout:
+		return ErrTimeout
+	case CodePruned:
+		return ErrPruned
+	case CodeBadPrune:
+		return ErrBadPrune
+	default:
+		return err
+	}
+}
+
+// MetadataRepairer returns a Repairer that rebuilds an aborted
+// version's tree over st with empty block references: reads of the
+// aborted range resolve to leaves with no providers and are zero-filled
+// (the aborted writer's data was never defined).
+func MetadataRepairer(st mdtree.Store) Repairer {
+	return func(meta blob.Meta, hist *blob.History, v blob.Version) error {
+		d, ok := hist.Desc(v)
+		if !ok {
+			return ErrBadVersion
+		}
+		n := blob.Blocks(d.Len, meta.BlockSize)
+		refs := make([]mdtree.BlockRef, n)
+		for i := range refs {
+			ln := meta.BlockSize
+			if int64(i) == n-1 {
+				if rem := d.Len - int64(n-1)*meta.BlockSize; rem > 0 {
+					ln = rem
+				}
+			}
+			refs[i] = mdtree.BlockRef{
+				Key: blob.BlockKey{Blob: meta.ID, Nonce: d.Nonce, Seq: uint32(i)},
+				Len: ln,
+			}
+		}
+		_, err := mdtree.Build(context.Background(), st, meta, hist, v, refs)
+		return err
+	}
+}
+
+// Service is the RPC shell around State, plus the dead-writer janitor.
+type Service struct {
+	state *State
+
+	stopJanitor chan struct{}
+}
+
+// NewService wraps state.
+func NewService(state *State) *Service {
+	return &Service{state: state, stopJanitor: make(chan struct{})}
+}
+
+// State exposes the core (simulator, tests).
+func (s *Service) State() *State { return s.state }
+
+// StartJanitor aborts writes stuck in flight longer than maxAge,
+// checking every interval. Stop with StopJanitor.
+func (s *Service) StartJanitor(maxAge, interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopJanitor:
+				return
+			case <-t.C:
+				for _, e := range s.state.Expired(maxAge) {
+					// Best effort: a concurrent Commit may win the race.
+					_ = s.state.Abort(e.Blob, e.Version)
+				}
+			}
+		}
+	}()
+}
+
+// StopJanitor terminates the janitor goroutine.
+func (s *Service) StopJanitor() {
+	select {
+	case <-s.stopJanitor:
+	default:
+		close(s.stopJanitor)
+	}
+}
+
+// Mux returns the RPC dispatch table.
+func (s *Service) Mux() *rpc.Mux {
+	m := rpc.NewMux()
+	m.Handle(mCreateBlob, s.handleCreate)
+	m.Handle(mGetMeta, s.handleGetMeta)
+	m.Handle(mAssignVersion, s.handleAssign)
+	m.Handle(mCommit, s.handleCommit)
+	m.Handle(mAbort, s.handleAbort)
+	m.Handle(mLatest, s.handleLatest)
+	m.Handle(mVersionInfo, s.handleVersionInfo)
+	m.Handle(mHistory, s.handleHistory)
+	m.Handle(mWaitPublished, s.handleWait)
+	m.Handle(mListBlobs, s.handleListBlobs)
+	m.Handle(mPrune, s.handlePrune)
+	return m
+}
+
+func encodeDesc(b *wire.Buffer, d blob.WriteDesc) {
+	b.U64(uint64(d.Version))
+	b.I64(d.Off)
+	b.I64(d.Len)
+	b.I64(d.SizeAfter)
+	b.U8(uint8(d.Kind))
+	b.U64(d.Nonce)
+	b.Bool(d.Aborted)
+}
+
+func decodeDesc(r *wire.Reader) blob.WriteDesc {
+	return blob.WriteDesc{
+		Version:   blob.Version(r.U64()),
+		Off:       r.I64(),
+		Len:       r.I64(),
+		SizeAfter: r.I64(),
+		Kind:      blob.WriteKind(r.U8()),
+		Nonce:     r.U64(),
+		Aborted:   r.Bool(),
+	}
+}
+
+func encodeDescs(b *wire.Buffer, ds []blob.WriteDesc) {
+	b.U32(uint32(len(ds)))
+	for _, d := range ds {
+		encodeDesc(b, d)
+	}
+}
+
+func decodeDescs(r *wire.Reader) []blob.WriteDesc {
+	n := r.U32()
+	if r.Err() != nil || n > uint32(r.Remaining()) {
+		return nil
+	}
+	out := make([]blob.WriteDesc, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, decodeDesc(r))
+	}
+	return out
+}
+
+func (s *Service) handleCreate(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	blockSize := r.I64()
+	replication := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m, err := s.state.CreateBlob(blockSize, replication)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(m.ID))
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleGetMeta(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m, err := s.state.GetMeta(id)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(12)
+	b.I64(m.BlockSize)
+	b.U32(uint32(m.Replication))
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleAssign(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	kind := blob.WriteKind(r.U8())
+	off := r.I64()
+	size := r.I64()
+	nonce := r.U64()
+	since := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	a, err := s.state.AssignVersion(id, kind, off, size, nonce, since)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(64)
+	b.U64(uint64(a.Version))
+	b.I64(a.Off)
+	b.I64(a.Size)
+	encodeDescs(b, a.Descs)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleCommit(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	v := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, wrap(s.state.Commit(id, v))
+}
+
+func (s *Service) handleAbort(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	v := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, wrap(s.state.Abort(id, v))
+}
+
+func (s *Service) handleLatest(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	v, size, err := s.state.Latest(id)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(16)
+	b.U64(uint64(v))
+	b.I64(size)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleVersionInfo(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	v := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	d, err := s.state.VersionInfo(id, v)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(48)
+	encodeDesc(b, d)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleHistory(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	since := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	ds, err := s.state.History(id, since)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(4 + len(ds)*48)
+	encodeDescs(b, ds)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleWait(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	v := blob.Version(r.U64())
+	timeoutMs := r.I64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	pub, size, err := s.state.WaitPublished(id, v, time.Duration(timeoutMs)*time.Millisecond)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(16)
+	b.U64(uint64(pub))
+	b.I64(size)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleListBlobs(p []byte) ([]byte, error) {
+	ids := s.state.Blobs()
+	b := wire.NewBuffer(4 + len(ids)*8)
+	b.U32(uint32(len(ids)))
+	for _, id := range ids {
+		b.U64(uint64(id))
+	}
+	return b.Bytes(), nil
+}
+
+// Client is the version-manager RPC client.
+func (s *Service) handlePrune(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	keep := blob.Version(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	from, err := s.state.Prune(id, keep)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(from))
+	return b.Bytes(), nil
+}
+
+type Client struct {
+	pool *rpc.Pool
+	addr string
+}
+
+// NewClient returns a client for the version manager at addr.
+func NewClient(pool *rpc.Pool, addr string) *Client {
+	return &Client{pool: pool, addr: addr}
+}
+
+func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
+	cl, err := c.pool.Get(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(ctx, m, payload)
+	if err != nil {
+		return nil, errFromCode(err)
+	}
+	return resp, nil
+}
+
+// CreateBlob allocates a new blob.
+func (c *Client) CreateBlob(ctx context.Context, blockSize int64, replication int) (blob.Meta, error) {
+	b := wire.NewBuffer(12)
+	b.I64(blockSize)
+	b.U32(uint32(replication))
+	resp, err := c.call(ctx, mCreateBlob, b.Bytes())
+	if err != nil {
+		return blob.Meta{}, err
+	}
+	r := wire.NewReader(resp)
+	m := blob.Meta{ID: blob.ID(r.U64()), BlockSize: blockSize, Replication: replication}
+	return m, r.Err()
+}
+
+// GetMeta fetches a blob's static configuration.
+func (c *Client) GetMeta(ctx context.Context, id blob.ID) (blob.Meta, error) {
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	resp, err := c.call(ctx, mGetMeta, b.Bytes())
+	if err != nil {
+		return blob.Meta{}, err
+	}
+	r := wire.NewReader(resp)
+	m := blob.Meta{ID: id, BlockSize: r.I64(), Replication: int(r.U32())}
+	return m, r.Err()
+}
+
+// AssignVersion requests a version number for a prepared write.
+func (c *Client) AssignVersion(ctx context.Context, id blob.ID, kind blob.WriteKind, off, size int64, nonce uint64, since blob.Version) (Assignment, error) {
+	b := wire.NewBuffer(48)
+	b.U64(uint64(id))
+	b.U8(uint8(kind))
+	b.I64(off)
+	b.I64(size)
+	b.U64(nonce)
+	b.U64(uint64(since))
+	resp, err := c.call(ctx, mAssignVersion, b.Bytes())
+	if err != nil {
+		return Assignment{}, err
+	}
+	r := wire.NewReader(resp)
+	a := Assignment{
+		Version: blob.Version(r.U64()),
+		Off:     r.I64(),
+		Size:    r.I64(),
+		Descs:   decodeDescs(r),
+	}
+	return a, r.Err()
+}
+
+// Commit reports a completed write.
+func (c *Client) Commit(ctx context.Context, id blob.ID, v blob.Version) error {
+	b := wire.NewBuffer(16)
+	b.U64(uint64(id))
+	b.U64(uint64(v))
+	_, err := c.call(ctx, mCommit, b.Bytes())
+	return err
+}
+
+// Abort reports a failed write.
+func (c *Client) Abort(ctx context.Context, id blob.ID, v blob.Version) error {
+	b := wire.NewBuffer(16)
+	b.U64(uint64(id))
+	b.U64(uint64(v))
+	_, err := c.call(ctx, mAbort, b.Bytes())
+	return err
+}
+
+// Latest returns the newest published version and size.
+func (c *Client) Latest(ctx context.Context, id blob.ID) (blob.Version, int64, error) {
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	resp, err := c.call(ctx, mLatest, b.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(resp)
+	v := blob.Version(r.U64())
+	size := r.I64()
+	return v, size, r.Err()
+}
+
+// VersionInfo fetches one version's descriptor.
+func (c *Client) VersionInfo(ctx context.Context, id blob.ID, v blob.Version) (blob.WriteDesc, error) {
+	b := wire.NewBuffer(16)
+	b.U64(uint64(id))
+	b.U64(uint64(v))
+	resp, err := c.call(ctx, mVersionInfo, b.Bytes())
+	if err != nil {
+		return blob.WriteDesc{}, err
+	}
+	r := wire.NewReader(resp)
+	d := decodeDesc(r)
+	return d, r.Err()
+}
+
+// History fetches descriptors after since.
+func (c *Client) History(ctx context.Context, id blob.ID, since blob.Version) ([]blob.WriteDesc, error) {
+	b := wire.NewBuffer(16)
+	b.U64(uint64(id))
+	b.U64(uint64(since))
+	resp, err := c.call(ctx, mHistory, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	ds := decodeDescs(r)
+	return ds, r.Err()
+}
+
+// WaitPublished blocks until v is published or timeout passes.
+func (c *Client) WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
+	b := wire.NewBuffer(24)
+	b.U64(uint64(id))
+	b.U64(uint64(v))
+	b.I64(int64(timeout / time.Millisecond))
+	resp, err := c.call(ctx, mWaitPublished, b.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(resp)
+	pub := blob.Version(r.U64())
+	size := r.I64()
+	return pub, size, r.Err()
+}
+
+// ListBlobs returns all blob IDs.
+func (c *Client) ListBlobs(ctx context.Context) ([]blob.ID, error) {
+	resp, err := c.call(ctx, mListBlobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.U32()
+	out := make([]blob.ID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, blob.ID(r.U64()))
+	}
+	return out, r.Err()
+}
+
+// Prune advances the oldest readable version to keep, returning the
+// previous prune point (see State.Prune).
+func (c *Client) Prune(ctx context.Context, id blob.ID, keep blob.Version) (blob.Version, error) {
+	b := wire.NewBuffer(16)
+	b.U64(uint64(id))
+	b.U64(uint64(keep))
+	resp, err := c.call(ctx, mPrune, b.Bytes())
+	if err != nil {
+		return 0, errFromCode(err)
+	}
+	r := wire.NewReader(resp)
+	from := blob.Version(r.U64())
+	return from, r.Err()
+}

@@ -1,0 +1,395 @@
+// Package vmanager implements BlobSeer's version manager (Section
+// III-B): the single entity that assigns snapshot version numbers,
+// fixes append offsets, and controls when new snapshots are revealed to
+// readers. Version assignment is the *only* serialization point of the
+// whole write path; everything before (data transfer) and after
+// (metadata weaving) runs fully in parallel across writers.
+//
+// Publication ordering implements the paper's linearizability rule: a
+// snapshot v becomes visible only when the metadata of every version
+// <= v has been committed, so readers always observe consistent,
+// immutable snapshots.
+package vmanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/blob"
+)
+
+// Sentinel validation errors (mapped to RPC codes by the service).
+var (
+	// ErrUnknownBlob is returned for operations on nonexistent blobs.
+	ErrUnknownBlob = errors.New("vmanager: unknown blob")
+	// ErrUnaligned is returned when a write offset (or an append onto
+	// an unaligned EOF) violates the block-alignment rule.
+	ErrUnaligned = errors.New("vmanager: offset not block-aligned")
+	// ErrBadRange is returned for empty or mid-blob partial-block writes.
+	ErrBadRange = errors.New("vmanager: invalid write range")
+	// ErrBadVersion is returned for commits/aborts of unassigned versions.
+	ErrBadVersion = errors.New("vmanager: no such assigned version")
+	// ErrTimeout is returned by WaitPublished when the deadline passes.
+	ErrTimeout = errors.New("vmanager: wait timed out")
+	// ErrPruned is returned when reading a version that Prune discarded.
+	ErrPruned = errors.New("vmanager: version garbage-collected")
+	// ErrBadPrune is returned for prune points beyond the published version.
+	ErrBadPrune = errors.New("vmanager: prune point not published yet")
+)
+
+// Repairer rebuilds the metadata of an aborted version so that higher
+// versions woven against it remain readable. The production wiring uses
+// mdtree.Build over the metadata DHT with empty block references.
+type Repairer func(meta blob.Meta, hist *blob.History, v blob.Version) error
+
+// State is the version manager's pure core: all bookkeeping, no I/O.
+// It is safe for concurrent use. The RPC Service wraps it; the
+// large-scale simulator drives it directly.
+type State struct {
+	mu     sync.Mutex
+	nextID blob.ID
+	blobs  map[blob.ID]*blobState
+	repair Repairer
+}
+
+type blobState struct {
+	meta      blob.Meta
+	hist      blob.History
+	committed []bool // per assigned version
+	published blob.Version
+	// prunedBelow is the oldest still-readable version: snapshots with
+	// version < prunedBelow were garbage-collected. Descriptors are kept
+	// forever (they are what makes concurrent metadata weaving and
+	// liveness analysis possible); only node/block payloads are freed.
+	prunedBelow blob.Version
+	assigned    map[blob.Version]time.Time // in-flight versions -> assign time
+	waiters     []waiter
+}
+
+type waiter struct {
+	version blob.Version
+	ch      chan struct{}
+}
+
+// NewState returns an empty version manager core. repair may be nil
+// (aborted versions then publish without metadata; tests only).
+func NewState(repair Repairer) *State {
+	return &State{nextID: 1, blobs: make(map[blob.ID]*blobState), repair: repair}
+}
+
+// CreateBlob registers a new empty BLOB and returns its metadata.
+func (s *State) CreateBlob(blockSize int64, replication int) (blob.Meta, error) {
+	m := blob.Meta{BlockSize: blockSize, Replication: replication}
+	if err := m.Validate(); err != nil {
+		return blob.Meta{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.ID = s.nextID
+	s.nextID++
+	s.blobs[m.ID] = &blobState{meta: m, assigned: make(map[blob.Version]time.Time)}
+	return m, nil
+}
+
+// GetMeta returns the static configuration of a blob.
+func (s *State) GetMeta(id blob.ID) (blob.Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return blob.Meta{}, ErrUnknownBlob
+	}
+	return bs.meta, nil
+}
+
+// Blobs lists all blob IDs (CLI/debugging).
+func (s *State) Blobs() []blob.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]blob.ID, 0, len(s.blobs))
+	for id := range s.blobs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Assignment is the reply to AssignVersion: the new version, its fixed
+// byte range, and the descriptor suffix the client was missing (its
+// weaving "hint", which includes descriptors of in-progress writers).
+type Assignment struct {
+	Version blob.Version
+	Off     int64
+	Size    int64 // blob size after this write
+	Descs   []blob.WriteDesc
+}
+
+// AssignVersion validates the write, assigns the next version number
+// (fixing the offset for appends), and returns the history delta since
+// sinceVersion. This method is the write path's serialization point.
+func (s *State) AssignVersion(id blob.ID, kind blob.WriteKind, off, size int64, nonce uint64, since blob.Version) (Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return Assignment{}, ErrUnknownBlob
+	}
+	if size <= 0 {
+		return Assignment{}, fmt.Errorf("%w: size %d", ErrBadRange, size)
+	}
+	B := bs.meta.BlockSize
+	cur := bs.hist.SizeAt(bs.hist.Latest()) // size incl. in-progress writers
+	if kind == blob.KindAppend {
+		off = cur
+	}
+	if off%B != 0 {
+		if kind == blob.KindAppend {
+			return Assignment{}, fmt.Errorf("%w: append onto unaligned EOF %d (use the file-layer read-modify-write path)", ErrUnaligned, cur)
+		}
+		return Assignment{}, fmt.Errorf("%w: offset %d", ErrUnaligned, off)
+	}
+	// Partial final blocks are only legal at (or past) EOF; a mid-blob
+	// write must cover whole blocks, otherwise the new leaf would lose
+	// bytes of the overwritten block.
+	if size%B != 0 && off+size < cur {
+		return Assignment{}, fmt.Errorf("%w: partial-block write [%d,%d) inside blob of size %d", ErrBadRange, off, off+size, cur)
+	}
+	v := bs.hist.Latest() + 1
+	after := cur
+	if off+size > after {
+		after = off + size
+	}
+	d := blob.WriteDesc{Version: v, Off: off, Len: size, SizeAfter: after, Kind: kind, Nonce: nonce}
+	if err := bs.hist.Append(d); err != nil {
+		return Assignment{}, err
+	}
+	bs.committed = append(bs.committed, false)
+	bs.assigned[v] = time.Now()
+	return Assignment{Version: v, Off: off, Size: after, Descs: bs.descsSinceLocked(since)}, nil
+}
+
+func (bs *blobState) descsSinceLocked(since blob.Version) []blob.WriteDesc {
+	if since > bs.hist.Latest() {
+		return nil
+	}
+	return append([]blob.WriteDesc(nil), bs.hist.Descs[since:]...)
+}
+
+// Commit records that version v's data and metadata are fully written
+// and publishes every version whose predecessors are all committed.
+func (s *State) Commit(id blob.ID, v blob.Version) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return ErrUnknownBlob
+	}
+	if v == blob.NoVersion || v > bs.hist.Latest() {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	bs.committed[v-1] = true
+	delete(bs.assigned, v)
+	bs.advanceLocked()
+	return nil
+}
+
+// advanceLocked publishes consecutive committed versions and wakes
+// satisfied waiters.
+func (bs *blobState) advanceLocked() {
+	for int(bs.published) < len(bs.committed) && bs.committed[bs.published] {
+		bs.published++
+	}
+	kept := bs.waiters[:0]
+	for _, w := range bs.waiters {
+		if bs.published >= w.version {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	bs.waiters = kept
+}
+
+// Abort marks version v as failed, rebuilds its metadata as an empty
+// patch (so later versions that wove references to it stay readable)
+// and then commits it so publication can advance past it.
+func (s *State) Abort(id blob.ID, v blob.Version) error {
+	s.mu.Lock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownBlob
+	}
+	if v == blob.NoVersion || v > bs.hist.Latest() {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if bs.committed[v-1] {
+		s.mu.Unlock()
+		return fmt.Errorf("vmanager: version %d already committed", v)
+	}
+	bs.hist.Descs[v-1].Aborted = true
+	meta := bs.meta
+	hist := bs.hist.Clone()
+	repair := s.repair
+	s.mu.Unlock()
+
+	if repair != nil {
+		if err := repair(meta, hist, v); err != nil {
+			return fmt.Errorf("vmanager: repair of aborted version %d: %w", v, err)
+		}
+	}
+	return s.Commit(id, v)
+}
+
+// Latest returns the newest published version and the blob size at it.
+// This is the call every reader (and BSFS open) issues first.
+func (s *State) Latest(id blob.ID) (blob.Version, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return 0, 0, ErrUnknownBlob
+	}
+	return bs.published, bs.hist.SizeAt(bs.published), nil
+}
+
+// VersionInfo returns the descriptor of a published or in-flight
+// version (readers need SizeAfter to compute the root span).
+func (s *State) VersionInfo(id blob.ID, v blob.Version) (blob.WriteDesc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return blob.WriteDesc{}, ErrUnknownBlob
+	}
+	d, ok := bs.hist.Desc(v)
+	if !ok {
+		return blob.WriteDesc{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if v < bs.prunedBelow {
+		return blob.WriteDesc{}, fmt.Errorf("%w: version %d (oldest kept: %d)", ErrPruned, v, bs.prunedBelow)
+	}
+	return d, nil
+}
+
+// History returns descriptors for versions in (since, latest].
+func (s *State) History(id blob.ID, since blob.Version) ([]blob.WriteDesc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return nil, ErrUnknownBlob
+	}
+	return bs.descsSinceLocked(since), nil
+}
+
+// Prune advances the blob's oldest readable version to keep: versions
+// < keep become unreadable and their storage may be reclaimed. It
+// returns the previous prune point, so the caller garbage-collects
+// exactly the versions in [from, keep). keep must already be
+// published (in-flight writers always hold higher versions). Pruning
+// below the current point is a no-op (from == keep). Write
+// descriptors are never discarded — only data and metadata payloads.
+//
+// Note the paper's contract: old snapshots stay readable only "as long
+// as they have not been garbaged". A reader pinned to a version below
+// keep fails once the sweep completes.
+func (s *State) Prune(id blob.ID, keep blob.Version) (from blob.Version, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return 0, ErrUnknownBlob
+	}
+	if keep == blob.NoVersion || keep > bs.published {
+		return 0, fmt.Errorf("%w: keep %d, published %d", ErrBadPrune, keep, bs.published)
+	}
+	from = bs.prunedBelow
+	if from == blob.NoVersion {
+		from = 1
+	}
+	if keep <= from {
+		return keep, nil
+	}
+	bs.prunedBelow = keep
+	return from, nil
+}
+
+// PrunedBelow returns the oldest readable version (1 if never pruned).
+func (s *State) PrunedBelow(id blob.ID) (blob.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return 0, ErrUnknownBlob
+	}
+	if bs.prunedBelow == blob.NoVersion {
+		return 1, nil
+	}
+	return bs.prunedBelow, nil
+}
+
+// WaitPublished blocks until version v is published or the timeout
+// expires (timeout <= 0 waits forever). It returns the published
+// version and size at return time. This is the paper's "mechanism that
+// allows the client to find out when new snapshot versions are
+// available".
+func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
+	s.mu.Lock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return 0, 0, ErrUnknownBlob
+	}
+	if bs.published >= v {
+		pub, size := bs.published, bs.hist.SizeAt(bs.published)
+		s.mu.Unlock()
+		return pub, size, nil
+	}
+	ch := make(chan struct{})
+	bs.waiters = append(bs.waiters, waiter{version: v, ch: ch})
+	s.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-ch:
+		return s.Latest(id)
+	case <-timer:
+		pub, size, _ := s.Latest(id)
+		return pub, size, ErrTimeout
+	}
+}
+
+// Expired returns in-flight (blob, version) pairs assigned longer than
+// maxAge ago. The service's janitor aborts them — the dead-writer
+// recovery path.
+func (s *State) Expired(maxAge time.Duration) []struct {
+	Blob    blob.ID
+	Version blob.Version
+} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []struct {
+		Blob    blob.ID
+		Version blob.Version
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for id, bs := range s.blobs {
+		for v, at := range bs.assigned {
+			if at.Before(cutoff) {
+				out = append(out, struct {
+					Blob    blob.ID
+					Version blob.Version
+				}{id, v})
+			}
+		}
+	}
+	return out
+}

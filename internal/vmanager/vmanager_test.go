@@ -1,0 +1,367 @@
+package vmanager
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/util"
+)
+
+const B = 64 * 1024 // block size for these tests
+
+func newBlob(t *testing.T, s *State) blob.Meta {
+	t.Helper()
+	m, err := s.CreateBlob(B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCreateBlob(t *testing.T) {
+	s := NewState(nil)
+	m1 := newBlob(t, s)
+	m2 := newBlob(t, s)
+	if m1.ID == m2.ID {
+		t.Error("duplicate blob IDs")
+	}
+	if _, err := s.CreateBlob(0, 1); err == nil {
+		t.Error("invalid block size accepted")
+	}
+	got, err := s.GetMeta(m1.ID)
+	if err != nil || got.BlockSize != B {
+		t.Errorf("GetMeta = %+v, %v", got, err)
+	}
+	if _, err := s.GetMeta(999); !errors.Is(err, ErrUnknownBlob) {
+		t.Errorf("unknown blob err = %v", err)
+	}
+	if len(s.Blobs()) != 2 {
+		t.Error("Blobs() wrong")
+	}
+}
+
+func TestAssignSequentialVersions(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	a1, err := s.AssignVersion(m.ID, blob.KindAppend, 0, 2*B, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Version != 1 || a1.Off != 0 || a1.Size != 2*B {
+		t.Errorf("a1 = %+v", a1)
+	}
+	// Second append chains onto the first even though it is uncommitted
+	// (the paper: "the writing of this snapshot may still be in
+	// progress").
+	a2, err := s.AssignVersion(m.ID, blob.KindAppend, 0, B, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Version != 2 || a2.Off != 2*B || a2.Size != 3*B {
+		t.Errorf("a2 = %+v", a2)
+	}
+	if len(a2.Descs) != 2 {
+		t.Errorf("hint has %d descs, want 2 (including in-progress v1)", len(a2.Descs))
+	}
+	// Delta fetch: client already knows version 1.
+	a3, err := s.AssignVersion(m.ID, blob.KindWrite, 0, B, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3.Descs) != 2 || a3.Descs[0].Version != 2 {
+		t.Errorf("delta descs = %+v", a3.Descs)
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	if _, err := s.AssignVersion(m.ID, blob.KindWrite, 5, B, 1, 0); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("unaligned offset err = %v", err)
+	}
+	if _, err := s.AssignVersion(m.ID, blob.KindWrite, 0, 0, 1, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("empty write err = %v", err)
+	}
+	if _, err := s.AssignVersion(999, blob.KindWrite, 0, B, 1, 0); !errors.Is(err, ErrUnknownBlob) {
+		t.Errorf("unknown blob err = %v", err)
+	}
+	// Build a 4-block blob, then try a mid-blob partial write.
+	if _, err := s.AssignVersion(m.ID, blob.KindAppend, 0, 4*B, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AssignVersion(m.ID, blob.KindWrite, 0, B/2, 2, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("mid-blob partial write err = %v", err)
+	}
+	// A partial write that reaches EOF is fine.
+	if _, err := s.AssignVersion(m.ID, blob.KindWrite, 3*B, B/2+B, 3, 0); err != nil {
+		t.Errorf("EOF-reaching partial write rejected: %v", err)
+	}
+	// Appending onto the now-unaligned EOF must fail with ErrUnaligned.
+	if _, err := s.AssignVersion(m.ID, blob.KindAppend, 0, B, 4, 0); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("append on unaligned EOF err = %v", err)
+	}
+}
+
+func TestPublicationOrdering(t *testing.T) {
+	// The linearizability gate: version 2 committing before version 1
+	// must NOT become visible until version 1 commits too.
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 2, 0)
+
+	if err := s.Commit(m.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Latest(m.ID); v != 0 {
+		t.Fatalf("published %d before v1 committed", v)
+	}
+	if err := s.Commit(m.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, size, _ := s.Latest(m.ID)
+	if v != 2 || size != 2*B {
+		t.Errorf("published = %d (size %d), want 2 (%d)", v, size, 2*B)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	if err := s.Commit(m.ID, 1); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("commit of unassigned version err = %v", err)
+	}
+	if err := s.Commit(999, 1); !errors.Is(err, ErrUnknownBlob) {
+		t.Errorf("commit on unknown blob err = %v", err)
+	}
+	if err := s.Abort(m.ID, 3); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("abort of unassigned version err = %v", err)
+	}
+}
+
+func TestWaitPublished(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+
+	done := make(chan blob.Version, 1)
+	go func() {
+		v, _, err := s.WaitPublished(m.ID, 1, 5*time.Second)
+		if err != nil {
+			done <- 0
+			return
+		}
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Commit(m.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != 1 {
+			t.Errorf("waiter got version %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestWaitPublishedTimeout(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+	_, _, err := s.WaitPublished(m.ID, 1, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	// Already-published waits return immediately.
+	s.Commit(m.ID, 1)
+	v, _, err := s.WaitPublished(m.ID, 1, 0)
+	if err != nil || v != 1 {
+		t.Errorf("immediate wait = %d, %v", v, err)
+	}
+}
+
+func TestAbortWithRepairKeepsLaterVersionsReadable(t *testing.T) {
+	// Writer A (v1) dies after version assignment. Writer B (v2) wove
+	// references to v1's metadata. After the VM repairs v1, v2's
+	// snapshot must be fully readable with v1's range zero-filled.
+	st := mdtree.NewMemStore()
+	s := NewState(MetadataRepairer(st))
+	m, err := s.CreateBlob(B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// v1 assigned (writer then dies before weaving metadata).
+	a1, err := s.AssignVersion(m.ID, blob.KindAppend, 0, 2*B, 0xdead, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 assigned and fully written (weaves against v1's planned nodes).
+	a2, err := s.AssignVersion(m.ID, blob.KindAppend, 0, B, 0xbeef, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &blob.History{}
+	if err := h.Extend(a2.Descs); err != nil {
+		t.Fatal(err)
+	}
+	refs := []mdtree.BlockRef{{Key: blob.BlockKey{Blob: m.ID, Nonce: 0xbeef, Seq: 0}, Providers: []string{"p"}, Len: B}}
+	if _, err := mdtree.Build(ctx, st, m, h, a2.Version, refs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(m.ID, a2.Version); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing published yet: v1 blocks the line.
+	if v, _, _ := s.Latest(m.ID); v != 0 {
+		t.Fatalf("published %d too early", v)
+	}
+	// The janitor (here: direct call) aborts v1.
+	if err := s.Abort(m.ID, a1.Version); err != nil {
+		t.Fatal(err)
+	}
+	v, size, _ := s.Latest(m.ID)
+	if v != 2 || size != 3*B {
+		t.Fatalf("after repair: published %d size %d", v, size)
+	}
+	// v2's snapshot must resolve: blocks 0-1 zero-filled (aborted),
+	// block 2 has data.
+	ext, err := mdtree.Resolve(ctx, st, m, 2, 3*B, blob.Range{Off: 0, Len: 3 * B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dataLen int64
+	for _, e := range ext {
+		if e.HasData && len(e.Block.Providers) > 0 {
+			dataLen += e.Len
+		}
+	}
+	if dataLen != B {
+		t.Errorf("live data = %d, want %d", dataLen, B)
+	}
+	// The aborted version is marked in the history hint.
+	ds, _ := s.History(m.ID, 0)
+	if !ds[0].Aborted {
+		t.Error("aborted descriptor not marked")
+	}
+}
+
+func TestAbortCommittedVersionRejected(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+	s.Commit(m.ID, 1)
+	if err := s.Abort(m.ID, 1); err == nil {
+		t.Error("abort of committed version succeeded")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+	if got := s.Expired(time.Hour); len(got) != 0 {
+		t.Errorf("fresh write already expired: %v", got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	got := s.Expired(time.Millisecond)
+	if len(got) != 1 || got[0].Version != 1 {
+		t.Errorf("expired = %v", got)
+	}
+	s.Commit(m.ID, 1)
+	if got := s.Expired(0); len(got) != 0 {
+		t.Errorf("committed write still tracked: %v", got)
+	}
+}
+
+func TestConcurrentAssignDistinctVersions(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	const N = 64
+	var wg sync.WaitGroup
+	versions := make([]blob.Version, N)
+	offsets := make([]int64, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := s.AssignVersion(m.ID, blob.KindAppend, 0, B, uint64(i), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			versions[i] = a.Version
+			offsets[i] = a.Off
+		}(i)
+	}
+	wg.Wait()
+	seenV := map[blob.Version]bool{}
+	seenOff := map[int64]bool{}
+	for i := 0; i < N; i++ {
+		if seenV[versions[i]] || seenOff[offsets[i]] {
+			t.Fatalf("duplicate version/offset: v=%d off=%d", versions[i], offsets[i])
+		}
+		seenV[versions[i]] = true
+		seenOff[offsets[i]] = true
+	}
+	// Offsets must be a permutation of {0, B, ..., (N-1)B}: concurrent
+	// appends serialize into disjoint ranges.
+	for off := int64(0); off < N*B; off += B {
+		if !seenOff[off] {
+			t.Errorf("offset %d never assigned", off)
+		}
+	}
+}
+
+func TestVersionInfo(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B+B/2, 7, 0)
+	d, err := s.VersionInfo(m.ID, 1)
+	if err != nil || d.SizeAfter != B+B/2 || d.Nonce != 7 {
+		t.Errorf("VersionInfo = %+v, %v", d, err)
+	}
+	if _, err := s.VersionInfo(m.ID, 9); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+func TestRandomCommitOrderPublishesInOrder(t *testing.T) {
+	// Property-style check: whatever order commits arrive in, the
+	// published version only advances over fully-committed prefixes.
+	s := NewState(nil)
+	m := newBlob(t, s)
+	const N = 20
+	for i := 0; i < N; i++ {
+		if _, err := s.AssignVersion(m.ID, blob.KindAppend, 0, B, uint64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := util.NewSplitMix64(99)
+	order := rng.Perm(N)
+	committed := make([]bool, N+1)
+	for _, idx := range order {
+		v := blob.Version(idx + 1)
+		if err := s.Commit(m.ID, v); err != nil {
+			t.Fatal(err)
+		}
+		committed[v] = true
+		want := blob.Version(0)
+		for w := 1; w <= N && committed[w]; w++ {
+			want = blob.Version(w)
+		}
+		got, _, _ := s.Latest(m.ID)
+		if got != want {
+			t.Fatalf("after commit %d: published %d, want %d", v, got, want)
+		}
+	}
+}

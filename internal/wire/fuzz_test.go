@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderRobust feeds arbitrary bytes through every decoder: the
+// Reader must never panic or allocate absurdly — malformed peers can
+// send anything, and RPC handlers decode before validating.
+func FuzzReaderRobust(f *testing.F) {
+	good := NewBuffer(64)
+	good.U8(1)
+	good.U32(7)
+	good.String("hello")
+	good.StringSlice([]string{"a", "bb"})
+	good.Bytes32([]byte{1, 2, 3})
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x7f}, 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.U8()
+		_ = r.U16()
+		_ = r.U32()
+		_ = r.U64()
+		_ = r.I64()
+		_ = r.F64()
+		_ = r.Bool()
+		_ = r.Bytes32()
+		_ = r.String()
+		_ = r.StringSlice()
+		// After any failure, further reads must keep returning zero
+		// values without panicking, and Err must be sticky.
+		if r.Err() != nil {
+			if v := r.U64(); v != 0 {
+				t.Fatalf("read after error returned %d, want 0", v)
+			}
+			if s := r.String(); s != "" {
+				t.Fatalf("read after error returned %q, want empty", s)
+			}
+			if r.Err() == nil {
+				t.Fatal("error was not sticky")
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks the length-prefixed framing: every body
+// written must read back identically, and corrupt prefixes must fail
+// without huge allocations (the limit guards them).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf, len(body)+16)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatal("frame body mismatch")
+		}
+		// A frame advertising more than the limit must be rejected.
+		var big bytes.Buffer
+		if err := WriteFrame(&big, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFrame(&big, 8); err == nil {
+			t.Fatal("oversized frame accepted")
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package wire implements the binary encoding used by every daemon in
+// the reproduction: a sticky-error buffer codec for message bodies and
+// length-prefixed framing for the transport. Hand-rolled encoding keeps
+// the data path allocation-light and dependency-free (stdlib only).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrFrameTooLarge is returned when an incoming frame exceeds the
+// reader's configured limit (protects daemons from corrupt peers).
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrShortBuffer is returned when decoding runs past the end of a
+// message body.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// MaxFrameSize is the default frame limit: one 64 MB block plus
+// generous protocol overhead.
+const MaxFrameSize = 80 << 20
+
+// Buffer encodes a message body. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer { return &Buffer{b: make([]byte, 0, capacity)} }
+
+// Bytes returns the encoded body.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset clears the buffer for reuse.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
+
+// U8 appends a byte.
+func (e *Buffer) U8(v uint8) { e.b = append(e.b, v) }
+
+// U16 appends a big-endian uint16.
+func (e *Buffer) U16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Buffer) U32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+
+// U64 appends a big-endian uint64.
+func (e *Buffer) U64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+
+// I64 appends a big-endian int64 (two's complement).
+func (e *Buffer) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 float64.
+func (e *Buffer) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Buffer) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes32 appends a length-prefixed (u32) byte slice.
+func (e *Buffer) Bytes32(v []byte) {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// String appends a length-prefixed (u32) string.
+func (e *Buffer) String(v string) {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// StringSlice appends a u32 count followed by each string.
+func (e *Buffer) StringSlice(vs []string) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.String(v)
+	}
+}
+
+// Reader decodes a message body. Decoding errors are sticky: once a
+// read fails, all subsequent reads return zero values and Err() reports
+// the first failure. This keeps decoder call sites linear and readable.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over body.
+func NewReader(body []byte) *Reader { return &Reader{b: body} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	v := r.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(v)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// I64 reads a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes32 reads a length-prefixed byte slice. The returned slice
+// aliases the underlying body; callers that retain it must copy.
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > r.Remaining() {
+		r.fail()
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes32()) }
+
+// StringSlice reads a u32 count followed by each string.
+func (r *Reader) StringSlice() []string {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > r.Remaining()/4+1 { // each string needs >= 4 prefix bytes
+		r.fail()
+		return nil
+	}
+	vs := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		vs = append(vs, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return vs
+}
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r, enforcing limit
+// (MaxFrameSize if limit <= 0).
+func ReadFrame(r io.Reader, limit int) ([]byte, error) {
+	if limit <= 0 {
+		limit = MaxFrameSize
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > limit {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return body, nil
+}

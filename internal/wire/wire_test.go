@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	b := NewBuffer(64)
+	b.U8(0xab)
+	b.U16(0xcdef)
+	b.U32(0xdeadbeef)
+	b.U64(0x0123456789abcdef)
+	b.I64(-42)
+	b.F64(math.Pi)
+	b.Bool(true)
+	b.Bool(false)
+
+	r := NewReader(b.Bytes())
+	if v := r.U8(); v != 0xab {
+		t.Errorf("U8 = %x", v)
+	}
+	if v := r.U16(); v != 0xcdef {
+		t.Errorf("U16 = %x", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 0x0123456789abcdef {
+		t.Errorf("U64 = %x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected decode error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestRoundTripBytesAndStrings(t *testing.T) {
+	b := &Buffer{}
+	b.Bytes32([]byte("hello"))
+	b.String("wörld")
+	b.StringSlice([]string{"a", "", "ccc"})
+	b.Bytes32(nil)
+
+	r := NewReader(b.Bytes())
+	if got := string(r.Bytes32()); got != "hello" {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.String(); got != "wörld" {
+		t.Errorf("String = %q", got)
+	}
+	ss := r.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "ccc" {
+		t.Errorf("StringSlice = %v", ss)
+	}
+	if got := r.Bytes32(); len(got) != 0 {
+		t.Errorf("empty Bytes32 = %v", got)
+	}
+	if r.Err() != nil {
+		t.Error(r.Err())
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	_ = r.U32() // short
+	if r.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if v := r.U64(); v != 0 {
+		t.Error("post-error read returned non-zero")
+	}
+	if s := r.String(); s != "" {
+		t.Error("post-error string not empty")
+	}
+}
+
+func TestBytes32Truncated(t *testing.T) {
+	b := &Buffer{}
+	b.U32(100) // claims 100 bytes, provides none
+	r := NewReader(b.Bytes())
+	if got := r.Bytes32(); got != nil || r.Err() == nil {
+		t.Error("truncated Bytes32 not detected")
+	}
+}
+
+func TestStringSliceBogusCount(t *testing.T) {
+	b := &Buffer{}
+	b.U32(0xffffffff)
+	r := NewReader(b.Bytes())
+	if ss := r.StringSlice(); ss != nil || r.Err() == nil {
+		t.Error("bogus count not rejected")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("some frame body")
+	if err := WriteFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("frame = %q", got)
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("frame = %v", got)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 50); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	// Header promises more bytes than present.
+	r := bytes.NewReader([]byte{0, 0, 0, 10, 'x'})
+	if _, err := ReadFrame(r, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(8)
+	b.U64(1)
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(a uint64, bs []byte, s string, fl float64, tf bool) bool {
+		e := &Buffer{}
+		e.U64(a)
+		e.Bytes32(bs)
+		e.String(s)
+		e.F64(fl)
+		e.Bool(tf)
+		r := NewReader(e.Bytes())
+		ga := r.U64()
+		gb := r.Bytes32()
+		gs := r.String()
+		gf := r.F64()
+		gt := r.Bool()
+		if r.Err() != nil || r.Remaining() != 0 {
+			return false
+		}
+		sameF := gf == fl || (math.IsNaN(gf) && math.IsNaN(fl))
+		return ga == a && bytes.Equal(gb, bs) && gs == s && sameF && gt == tf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

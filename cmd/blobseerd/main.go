@@ -49,6 +49,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		metas    = flag.String("meta", "", "comma-separated metadata provider addresses (vmanager: abort repair; required for -role vmanager unless -no-repair)")
 		metaRepl = flag.Int("meta-replication", 1, "DHT replication level (vmanager repair path)")
+		metaCach = flag.Int("meta-cache", 0, "vmanager: immutable-node cache entries for the repair store (<0 default, 0 off)")
 		noRepair = flag.Bool("no-repair", false, "vmanager: disable metadata abort repair")
 		vmAddr   = flag.String("vmanager", "", "version manager address (namespace role)")
 		pmAddr   = flag.String("pmanager", "", "provider manager address (provider role; registers at startup)")
@@ -114,7 +115,8 @@ func main() {
 			}
 			ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
 			pool := rpc.NewPool(rpc.TCPDialer)
-			repair = vmanager.MetadataRepairer(mdtree.NewDHTStore(dht.NewClient(ring, pool, *metaRepl)))
+			st := mdtree.MaybeCache(mdtree.NewDHTStore(dht.NewClient(ring, pool, *metaRepl)), *metaCach)
+			repair = vmanager.MetadataRepairer(st)
 		}
 		svc := vmanager.NewService(vmanager.NewState(repair))
 		if *wtimeout > 0 {

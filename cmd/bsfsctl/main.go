@@ -77,6 +77,7 @@ func main() {
 		blockSz = flag.Int64("block-size", 64*util.MB, "striping unit for new files")
 		repl    = flag.Int("replication", 1, "replication level for new files")
 		mrepl   = flag.Int("meta-replication", 1, "DHT replication level")
+		mcache  = flag.Int("meta-cache", -1, "immutable-node cache entries (<0 default, 0 off)")
 		host    = flag.String("host", "", "client host label (affinity experiments)")
 	)
 	flag.Usage = usage
@@ -91,11 +92,12 @@ func main() {
 	ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
 	fsys, err := bsfs.New(bsfs.Config{
 		Core: core.NewClient(core.Config{
-			Pool:      pool,
-			VMAddr:    *vmAddr,
-			PMAddr:    *pmAddr,
-			MetaStore: mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl)),
-			Host:      *host,
+			Pool:          pool,
+			VMAddr:        *vmAddr,
+			PMAddr:        *pmAddr,
+			MetaStore:     mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl)),
+			Host:          *host,
+			MetaCacheSize: *mcache,
 		}),
 		NS:          namespace.NewClient(pool, *nsAddr),
 		BlockSize:   *blockSz,

@@ -1,0 +1,3 @@
+module blobseer
+
+go 1.24

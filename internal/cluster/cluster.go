@@ -32,6 +32,7 @@ type Config struct {
 	BlockSize       int64
 	Replication     int // data replication level
 	MetaReplication int // DHT replication level
+	MetaCacheSize   int // per-client immutable-node cache entries (<0 default, 0 off)
 	Strategy        placement.Strategy
 	WriteTimeout    time.Duration // janitor abort threshold; 0 disables
 	UseTCP          bool          // listen on loopback TCP instead of inproc
@@ -193,11 +194,12 @@ func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
 // boot-up phases) or one of HostOf(i) for a co-deployed client.
 func (c *BlobSeer) NewClient(host string) *core.Client {
 	return core.NewClient(core.Config{
-		Pool:      c.Pool,
-		VMAddr:    c.VMAddr,
-		PMAddr:    c.PMAddr,
-		MetaStore: c.MetaStore,
-		Host:      host,
+		Pool:          c.Pool,
+		VMAddr:        c.VMAddr,
+		PMAddr:        c.PMAddr,
+		MetaStore:     c.MetaStore,
+		Host:          host,
+		MetaCacheSize: c.Cfg.MetaCacheSize,
 	})
 }
 

@@ -48,6 +48,14 @@ type Config struct {
 	PMAddr    string       // provider manager endpoint
 	MetaStore mdtree.Store // metadata DHT (mdtree.NewDHTStore) or test store
 	Host      string       // this client's host name, for locality-aware placement
+
+	// MetaCacheSize bounds the client-side cache of immutable tree
+	// nodes: > 0 wraps MetaStore in an mdtree.NodeCache with that many
+	// entries, < 0 uses mdtree.DefaultCacheSize, 0 disables caching.
+	// Safe at any setting — nodes never change once written — and worth
+	// enabling whenever the same ranges are read repeatedly (MapReduce
+	// input scans).
+	MetaCacheSize int
 }
 
 // Client is a BlobSeer client. It is safe for concurrent use; all
@@ -68,17 +76,27 @@ type Client struct {
 
 // NewClient builds a client from cfg.
 func NewClient(cfg Config) *Client {
+	meta := mdtree.MaybeCache(cfg.MetaStore, cfg.MetaCacheSize)
 	return &Client{
 		vm:        vmanager.NewClient(cfg.Pool, cfg.VMAddr),
 		pm:        pmanager.NewClient(cfg.Pool, cfg.PMAddr),
 		prov:      provider.NewClient(cfg.Pool),
-		meta:      cfg.MetaStore,
+		meta:      meta,
 		host:      cfg.Host,
 		nonce:     newNonceSource(),
 		histories: make(map[blob.ID]*blob.History),
 		metas:     make(map[blob.ID]blob.Meta),
 		hosts:     make(map[string]string),
 	}
+}
+
+// MetaCacheStats returns the client's node-cache counters, or zeroes
+// when the client runs uncached.
+func (c *Client) MetaCacheStats() mdtree.CacheStats {
+	if nc, ok := c.meta.(*mdtree.NodeCache); ok {
+		return nc.Stats()
+	}
+	return mdtree.CacheStats{}
 }
 
 // nonceSource hands out write nonces unique across clients with
@@ -232,6 +250,11 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 	// Phase 2b: weave and store metadata, concurrently with all other
 	// writers (including ones still working on lower versions).
 	if _, err := mdtree.Build(ctx, c.meta, m, hist, a.Version, refs); err != nil {
+		// Whatever Build managed to write through into the cache is
+		// suspect from here on: the janitor will eventually abort this
+		// version and the repairer rewrite its nodes in place. Purge
+		// unconditionally — invalidation is local and always safe.
+		c.invalidateMetaVersion(id, a.Version)
 		// Let the version manager repair the line so later versions
 		// stay readable, then GC our blocks.
 		if aerr := c.vm.Abort(ctx, id, a.Version); aerr != nil {
@@ -243,9 +266,23 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 
 	// Phase 2c: report success; the VM publishes in version order.
 	if err := c.vm.Commit(ctx, id, a.Version); err != nil {
+		// A failed commit usually means the janitor aborted us and the
+		// repairer rewrote our nodes; what we write-through cached is
+		// now stale.
+		c.invalidateMetaVersion(id, a.Version)
 		return 0, err
 	}
 	return a.Version, nil
+}
+
+// invalidateMetaVersion purges a version's nodes from the client's
+// metadata cache after an abort: repair re-Builds those node IDs with
+// empty block refs, so the cached copies no longer match the published
+// tree.
+func (c *Client) invalidateMetaVersion(id blob.ID, v blob.Version) {
+	if nc, ok := c.meta.(*mdtree.NodeCache); ok {
+		nc.InvalidateVersion(id, v)
+	}
 }
 
 // gcBlocks best-effort deletes every block a failed write stored.

@@ -1,0 +1,234 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/wire"
+)
+
+// Batched DHT operations. A metadata tree level touches many keys at
+// once; shipping them per-provider in one RPC turns O(keys x replicas)
+// serialized round-trips into one parallel fan-out of O(providers)
+// round-trips. Immutable metadata makes the semantics simple: any
+// replica's answer for a key is the answer.
+
+// PutBatch stores every pair on all of its replicas. Pairs are grouped
+// by provider address (each provider receives one mMetaPutBatch RPC
+// carrying every pair it is responsible for) and the per-provider RPCs
+// run in parallel. Like Put, it fails if any replica write fails.
+func (c *Client) PutBatch(ctx context.Context, kvs []wire.KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	if len(kvs) == 1 {
+		return c.Put(ctx, kvs[0].Key, kvs[0].Val)
+	}
+	groups := make(map[string][]wire.KV)
+	for _, kv := range kvs {
+		addrs := c.ring.Lookup(kv.Key, c.replicas)
+		if len(addrs) == 0 {
+			return errors.New("dht: empty ring")
+		}
+		for _, addr := range addrs {
+			groups[addr] = append(groups[addr], kv)
+		}
+	}
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	return c.eachReplica(addrs, func(addr string) error {
+		return c.putBatchOne(ctx, addr, groups[addr])
+	})
+}
+
+// Chunking limits: one RPC frame per chunk, kept far below
+// wire.MaxFrameSize so even degenerate batches (a write materializing
+// millions of nodes on one provider) never hit the frame cap the old
+// per-node path was immune to.
+const (
+	maxBatchPairs = 8192
+	maxBatchBytes = 8 << 20
+)
+
+func (c *Client) putBatchOne(ctx context.Context, addr string, kvs []wire.KV) error {
+	cl, err := c.pool.Get(addr)
+	if err != nil {
+		return fmt.Errorf("dht: put batch (%d keys) to %s: %w", len(kvs), addr, err)
+	}
+	for start := 0; start < len(kvs); {
+		size := 4
+		end := start
+		for end < len(kvs) && end-start < maxBatchPairs {
+			pair := 8 + len(kvs[end].Key) + len(kvs[end].Val)
+			if end > start && size+pair > maxBatchBytes {
+				break
+			}
+			size += pair
+			end++
+		}
+		b := wire.NewBuffer(size)
+		b.KVSlice(kvs[start:end])
+		if _, err := cl.Call(ctx, mMetaPutBatch, b.Bytes()); err != nil {
+			return fmt.Errorf("dht: put batch (%d keys) to %s: %w", end-start, addr, err)
+		}
+		start = end
+	}
+	return nil
+}
+
+// getState tracks one key's progress through the replica rounds of a
+// GetBatch.
+type getState struct {
+	addrs    []string // replica preference order
+	round    int      // next replica index to try
+	notFound int      // replicas that authoritatively missed
+}
+
+// GetBatch fetches many keys at once. Keys are grouped by their primary
+// replica and fetched with one parallel mMetaGetBatch RPC per provider;
+// keys a provider misses (or whose provider is down) fall through to
+// the next replica in further rounds. The result maps each found key to
+// its value. A key absent from the map was authoritatively missing on
+// every replica; if any key could not be resolved either way (all
+// remaining replicas unreachable), GetBatch returns an error, because
+// for immutable metadata an inconclusive miss must not be read as a
+// hole.
+func (c *Client) GetBatch(ctx context.Context, keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	states := make(map[string]*getState, len(keys))
+	for _, key := range keys {
+		if _, ok := states[key]; ok {
+			continue // dedup: one fetch answers every occurrence
+		}
+		addrs := c.ring.Lookup(key, c.replicas)
+		if len(addrs) == 0 {
+			return nil, errors.New("dht: empty ring")
+		}
+		states[key] = &getState{addrs: addrs}
+	}
+
+	maxRounds := c.replicas
+	for round := 0; round < maxRounds; round++ {
+		// Group every unresolved key by the replica it should try next.
+		groups := make(map[string][]string)
+		for key, st := range states {
+			if _, done := out[key]; done || st.round >= len(st.addrs) {
+				continue
+			}
+			addr := st.addrs[st.round]
+			st.round++
+			groups[addr] = append(groups[addr], key)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		type result struct {
+			keys []string
+			vals [][]byte // nil entry = authoritative miss
+			err  error
+		}
+		results := make([]result, 0, len(groups))
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		for addr, group := range groups {
+			wg.Add(1)
+			go func(addr string, group []string) {
+				defer wg.Done()
+				vals, err := c.getBatchOne(ctx, addr, group)
+				mu.Lock()
+				results = append(results, result{keys: group, vals: vals, err: err})
+				mu.Unlock()
+			}(addr, group)
+		}
+		wg.Wait()
+		for _, res := range results {
+			for i, key := range res.keys {
+				st := states[key]
+				switch {
+				case res.vals != nil && res.vals[i] != nil:
+					// A value fetched before a later chunk failed is still
+					// a value: keep it instead of re-fetching elsewhere.
+					if _, done := out[key]; !done {
+						out[key] = res.vals[i]
+					}
+				case res.err != nil:
+					// Transport failure: the key stays unresolved and is
+					// retried on the next replica (never counted as a miss).
+				default:
+					st.notFound++
+				}
+			}
+		}
+	}
+
+	for key, st := range states {
+		if _, ok := out[key]; ok {
+			continue
+		}
+		if st.notFound < len(st.addrs) {
+			// At least one replica never answered: the key may exist
+			// there, so the caller must not treat this as a miss.
+			return nil, fmt.Errorf("dht: get batch: key %q unresolved (%d/%d replicas answered not-found)", key, st.notFound, len(st.addrs))
+		}
+	}
+	return out, nil
+}
+
+// getBatchOne fetches keys from one provider, chunking the multi-get
+// so neither request nor response can approach the frame limit. The
+// returned slice parallels keys; a nil entry is an authoritative miss.
+// On error the slice carries whatever earlier chunks resolved, so the
+// caller keeps values fetched before the failure. NOTE: with a non-nil
+// error a nil entry means "unresolved", not "missing".
+func (c *Client) getBatchOne(ctx context.Context, addr string, keys []string) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	cl, err := c.pool.Get(addr)
+	if err != nil {
+		return vals, fmt.Errorf("dht: get batch (%d keys) from %s: %w", len(keys), addr, err)
+	}
+	for start := 0; start < len(keys); {
+		end := start + maxBatchPairs
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		size := 4
+		for _, k := range chunk {
+			size += 4 + len(k)
+		}
+		b := wire.NewBuffer(size)
+		b.StringSlice(chunk)
+		resp, err := cl.Call(ctx, mMetaGetBatch, b.Bytes())
+		if err != nil {
+			return vals, fmt.Errorf("dht: get batch (%d keys) from %s: %w", len(chunk), addr, err)
+		}
+		r := wire.NewReader(resp)
+		if n := r.U32(); int(n) != len(chunk) {
+			return vals, fmt.Errorf("dht: get batch from %s: %d answers for %d keys", addr, n, len(chunk))
+		}
+		for i := range chunk {
+			found := r.Bool()
+			v := r.Bytes32()
+			if found {
+				if v == nil {
+					v = []byte{}
+				}
+				vals[start+i] = v
+			}
+		}
+		if err := r.Err(); err != nil {
+			return vals, fmt.Errorf("dht: get batch from %s: %w", addr, err)
+		}
+		start = end
+	}
+	return vals, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
@@ -16,6 +17,8 @@ const (
 	mMetaGet
 	mMetaDelete
 	mMetaStat
+	mMetaPutBatch
+	mMetaGetBatch
 )
 
 // CodeNotFound is the RPC status for a missing metadata key.
@@ -46,6 +49,8 @@ func (s *MetaService) Mux() *rpc.Mux {
 	m.Handle(mMetaGet, s.handleGet)
 	m.Handle(mMetaDelete, s.handleDelete)
 	m.Handle(mMetaStat, s.handleStat)
+	m.Handle(mMetaPutBatch, s.handlePutBatch)
+	m.Handle(mMetaGetBatch, s.handleGetBatch)
 	return m
 }
 
@@ -94,6 +99,50 @@ func (s *MetaService) handleStat(payload []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
+// handlePutBatch stores every pair of a multi-put; any failure aborts
+// the batch (the client treats the whole RPC as failed, matching the
+// durability contract of single puts).
+func (s *MetaService) handlePutBatch(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	kvs := r.KVSlice()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for _, kv := range kvs {
+		if err := s.store.Put(kv.Key, kv.Val); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// handleGetBatch answers a multi-get. Unlike single gets, a missing key
+// is not an RPC error: each requested key gets a presence flag so one
+// response carries hits and authoritative misses side by side.
+func (s *MetaService) handleGetBatch(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	keys := r.StringSlice()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	b := wire.NewBuffer(16 * len(keys))
+	b.U32(uint32(len(keys)))
+	for _, key := range keys {
+		val, err := s.store.Get(key)
+		switch {
+		case err == store.ErrNotFound:
+			b.Bool(false)
+			b.Bytes32(nil)
+		case err != nil:
+			return nil, err
+		default:
+			b.Bool(true)
+			b.Bytes32(val)
+		}
+	}
+	return b.Bytes(), nil
+}
+
 // Client is the replicated DHT client used by BlobSeer writers and
 // readers. Writes go to all replicas (metadata is tiny and immutable);
 // reads try replicas in order and succeed on the first hit, which also
@@ -116,8 +165,8 @@ func NewClient(ring *Ring, pool *rpc.Pool, replicas int) *Client {
 // Ring exposes the client's ring (location queries, tests).
 func (c *Client) Ring() *Ring { return c.ring }
 
-// Put stores key on every replica; it fails if any replica write fails
-// (metadata must be durable before a version can commit).
+// Put stores key on every replica in parallel; it fails if any replica
+// write fails (metadata must be durable before a version can commit).
 func (c *Client) Put(ctx context.Context, key string, val []byte) error {
 	addrs := c.ring.Lookup(key, c.replicas)
 	if len(addrs) == 0 {
@@ -127,7 +176,7 @@ func (c *Client) Put(ctx context.Context, key string, val []byte) error {
 	b.String(key)
 	b.Bytes32(val)
 	payload := b.Bytes()
-	for _, addr := range addrs {
+	return c.eachReplica(addrs, func(addr string) error {
 		cl, err := c.pool.Get(addr)
 		if err != nil {
 			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
@@ -135,11 +184,43 @@ func (c *Client) Put(ctx context.Context, key string, val []byte) error {
 		if _, err := cl.Call(ctx, mMetaPut, payload); err != nil {
 			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// Get fetches key from the first answering replica.
+// eachReplica runs fn against every address concurrently and returns
+// the first error.
+func (c *Client) eachReplica(addrs []string, fn func(addr string) error) error {
+	if len(addrs) == 1 {
+		return fn(addrs[0])
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			if err := fn(addr); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Get fetches key from the first answering replica. It returns
+// ErrNotFound only when every replica authoritatively reported the key
+// missing; if any replica was unreachable the miss is inconclusive and
+// the transport error is returned instead, so callers can distinguish
+// "the key does not exist" from "the key may exist on a dead provider".
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	addrs := c.ring.Lookup(key, c.replicas)
 	if len(addrs) == 0 {
@@ -149,6 +230,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	b.String(key)
 	payload := b.Bytes()
 	var lastErr error
+	notFound := 0
 	for _, addr := range addrs {
 		cl, err := c.pool.Get(addr)
 		if err != nil {
@@ -157,12 +239,12 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 		resp, err := cl.Call(ctx, mMetaGet, payload)
 		if err != nil {
-			lastErr = err
 			if rpc.CodeOf(err) == CodeNotFound {
-				// A missing key on the primary is authoritative for
-				// immutable metadata only if no replica has it either;
-				// keep trying the others.
-				continue
+				// Authoritative miss on this replica; for immutable
+				// metadata the key is absent only if no replica has it.
+				notFound++
+			} else {
+				lastErr = err
 			}
 			continue
 		}
@@ -174,28 +256,25 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 		return val, nil
 	}
-	if lastErr == nil {
-		lastErr = ErrNotFound
+	if notFound == len(addrs) || lastErr == nil {
+		return nil, ErrNotFound
 	}
 	return nil, lastErr
 }
 
-// Delete removes key from all replicas (best effort; used by GC).
+// Delete removes key from all replicas in parallel (best effort; used
+// by GC).
 func (c *Client) Delete(ctx context.Context, key string) error {
 	addrs := c.ring.Lookup(key, c.replicas)
 	b := wire.NewBuffer(8 + len(key))
 	b.String(key)
 	payload := b.Bytes()
-	var lastErr error
-	for _, addr := range addrs {
+	return c.eachReplica(addrs, func(addr string) error {
 		cl, err := c.pool.Get(addr)
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
-		if _, err := cl.Call(ctx, mMetaDelete, payload); err != nil {
-			lastErr = err
-		}
-	}
-	return lastErr
+		_, err = cl.Call(ctx, mMetaDelete, payload)
+		return err
+	})
 }

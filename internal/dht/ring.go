@@ -4,6 +4,31 @@
 // key-value client. Distributing the segment-tree nodes over this DHT
 // is what removes the centralized-metadata bottleneck the paper blames
 // for HDFS's behaviour under concurrency.
+//
+// # Wire format
+//
+// All payloads use the package wire codec (big-endian, length-prefixed
+// strings and byte slices). The single-key methods:
+//
+//	mMetaPut     request:  key string | val bytes32       response: empty
+//	mMetaGet     request:  key string                     response: val bytes32 (or status CodeNotFound)
+//	mMetaDelete  request:  key string                     response: empty
+//	mMetaStat    request:  empty                          response: items i64 | bytes i64
+//
+// The batch methods move one multi-key payload per provider instead of
+// one RPC per key; the client groups keys by their ring replica set and
+// fans the per-provider RPCs out in parallel:
+//
+//	mMetaPutBatch  request:  count u32, then per pair: key string | val bytes32
+//	               response: empty (the whole batch fails on any error)
+//	mMetaGetBatch  request:  count u32, then per key: key string
+//	               response: count u32, then per key (request order):
+//	                         found bool | val bytes32 (empty when absent)
+//
+// A missing key inside mMetaGetBatch is not an RPC error: each entry
+// carries its own presence flag, so one response mixes hits and
+// authoritative misses and the client can fall through to further
+// replicas only for the keys that need it.
 package dht
 
 import (

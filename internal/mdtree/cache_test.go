@@ -1,0 +1,481 @@
+package mdtree
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blobseer/internal/blob"
+)
+
+func buildBlocks(t testing.TB, st Store, nBlocks int) (*blob.History, blob.Meta) {
+	t.Helper()
+	h := &blob.History{}
+	m := meta()
+	mustAppend(t, h, blob.WriteDesc{Version: 1, Off: 0, Len: int64(nBlocks) * B, SizeAfter: int64(nBlocks) * B, Kind: blob.KindAppend})
+	if _, err := Build(context.Background(), st, m, h, 1, refs(1, nBlocks, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return h, m
+}
+
+func TestCacheWarmReadZeroStoreGets(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	_, m := buildBlocks(t, cache, 16)
+
+	// Build went write-through, so even the cold read is free — wipe the
+	// cache to force a real cold pass first.
+	cold := NewNodeCache(inner, 0)
+	if _, err := Resolve(ctx, cold, m, 1, 16*B, blob.Range{Off: 0, Len: 16 * B}); err != nil {
+		t.Fatal(err)
+	}
+	_, getsAfterCold := inner.Ops()
+	if getsAfterCold == 0 {
+		t.Fatal("cold resolve touched no store nodes")
+	}
+
+	// Warm re-read: every node now cached; zero inner gets.
+	ext, err := Resolve(ctx, cold, m, 1, 16*B, blob.Range{Off: 0, Len: 16 * B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 16 {
+		t.Fatalf("warm resolve returned %d extents, want 16", len(ext))
+	}
+	_, getsAfterWarm := inner.Ops()
+	if getsAfterWarm != getsAfterCold {
+		t.Errorf("warm resolve issued %d store gets, want 0", getsAfterWarm-getsAfterCold)
+	}
+	st := cold.Stats()
+	if st.Hits == 0 || st.Size == 0 {
+		t.Errorf("stats after warm read = %+v", st)
+	}
+}
+
+func TestCacheWriteThroughMakesReadFree(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	_, m := buildBlocks(t, cache, 8)
+
+	// The writer's own cache was populated by Build's puts: a subsequent
+	// read through the same cache touches the store not at all.
+	if _, err := Resolve(ctx, cache, m, 1, 8*B, blob.Range{Off: 0, Len: 8 * B}); err != nil {
+		t.Fatal(err)
+	}
+	if _, gets := inner.Ops(); gets != 0 {
+		t.Errorf("read after write-through issued %d store gets, want 0", gets)
+	}
+}
+
+func TestCacheBoundedEviction(t *testing.T) {
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 32)
+	ctx := context.Background()
+	for i := 0; i < 500; i++ {
+		n := Node{ID: NodeID{Blob: 1, Version: blob.Version(i + 1), Off: 0, Span: B}, Leaf: true}
+		if err := cache.Put(ctx, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	// Per-shard capacity is ceil(32/16) = 2, so at most 32 entries total.
+	if st.Size > 32 {
+		t.Errorf("cache holds %d entries, bound is 32", st.Size)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded after overflow")
+	}
+	if inner.Len() != 500 {
+		t.Errorf("inner store has %d nodes, want 500 (eviction must not delete)", inner.Len())
+	}
+}
+
+// blockingStore delays Get until released, counting inner fetches —
+// proves singleflight dedup.
+type blockingStore struct {
+	*MemStore
+	enter chan struct{} // one token per arrived Get
+	gate  chan struct{} // closed to release all Gets
+	calls atomic.Int64
+}
+
+func (b *blockingStore) Get(ctx context.Context, id NodeID) (Node, error) {
+	b.calls.Add(1)
+	b.enter <- struct{}{}
+	<-b.gate
+	return b.MemStore.Get(ctx, id)
+}
+
+func TestCacheSingleflightDedupsConcurrentMisses(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemStore()
+	id := NodeID{Blob: 1, Version: 1, Off: 0, Span: B}
+	if err := mem.Put(ctx, Node{ID: id, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	bs := &blockingStore{MemStore: mem, enter: make(chan struct{}, 64), gate: make(chan struct{})}
+	cache := NewNodeCache(bs, 0)
+
+	const readers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cache.Get(ctx, id)
+		}(i)
+	}
+	<-bs.enter // exactly one fetch reached the store
+	close(bs.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	if got := bs.calls.Load(); got != 1 {
+		t.Errorf("%d inner fetches for %d concurrent misses, want 1", got, readers)
+	}
+}
+
+// cancelOwnerStore fails the first Get with its caller's context error
+// (once that context is canceled) and serves normally afterwards.
+type cancelOwnerStore struct {
+	*MemStore
+	calls   atomic.Int64
+	started chan struct{}
+}
+
+func (s *cancelOwnerStore) Get(ctx context.Context, id NodeID) (Node, error) {
+	if s.calls.Add(1) == 1 {
+		close(s.started)
+		<-ctx.Done()
+		return Node{}, ctx.Err()
+	}
+	return s.MemStore.Get(ctx, id)
+}
+
+func TestCacheJoinerSurvivesOwnerCancellation(t *testing.T) {
+	// A canceled flight owner must not fail joiners whose own contexts
+	// are live: they retry the fetch themselves.
+	mem := NewMemStore()
+	id := NodeID{Blob: 1, Version: 1, Off: 0, Span: B}
+	if err := mem.Put(context.Background(), Node{ID: id, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := &cancelOwnerStore{MemStore: mem, started: make(chan struct{})}
+	cache := NewNodeCache(st, 0)
+
+	ownerCtx, cancel := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := cache.Get(ownerCtx, id)
+		ownerErr <- err
+	}()
+	<-st.started // the owner's fetch is in flight; its flight is registered
+
+	joinerErr := make(chan error, 1)
+	go func() {
+		_, err := cache.Get(context.Background(), id)
+		joinerErr <- err
+	}()
+	cancel()
+	if err := <-ownerErr; err == nil {
+		t.Error("canceled owner succeeded")
+	}
+	if err := <-joinerErr; err != nil {
+		t.Errorf("joiner inherited the owner's cancellation: %v", err)
+	}
+}
+
+func TestCacheMissError(t *testing.T) {
+	ctx := context.Background()
+	cache := NewNodeCache(NewMemStore(), 0)
+	if _, err := cache.Get(ctx, NodeID{Blob: 1, Version: 9, Off: 0, Span: B}); err == nil {
+		t.Error("absent node returned without error")
+	}
+	// Errors must not be cached: store the node, the next Get succeeds.
+	id := NodeID{Blob: 1, Version: 9, Off: 0, Span: B}
+	if err := cache.Inner().Put(ctx, Node{ID: id, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Get(ctx, id); err != nil {
+		t.Errorf("node stored after miss still unreadable: %v", err)
+	}
+}
+
+func TestCacheDeleteInvalidates(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	id := NodeID{Blob: 1, Version: 1, Off: 0, Span: B}
+	if err := cache.Put(ctx, Node{ID: id, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Delete(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Has(id) {
+		t.Error("delete did not reach the inner store")
+	}
+	if _, err := cache.Get(ctx, id); err == nil {
+		t.Error("deleted node still served from cache")
+	}
+}
+
+func TestCacheGetBatchMixesHitsAndMisses(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	ids := make([]NodeID, 10)
+	for i := range ids {
+		ids[i] = NodeID{Blob: 1, Version: 1, Off: int64(i) * B, Span: B}
+		if err := inner.Put(ctx, Node{ID: ids[i], Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime half through the cache.
+	for _, id := range ids[:5] {
+		if _, err := cache.Get(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, getsBefore := inner.Ops()
+	absent := NodeID{Blob: 1, Version: 7, Off: 0, Span: B}
+	got, err := cache.GetBatch(ctx, append(append([]NodeID{}, ids...), absent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("batch resolved %d nodes, want 10", len(got))
+	}
+	if _, ok := got[absent]; ok {
+		t.Error("absent node resolved")
+	}
+	_, getsAfter := inner.Ops()
+	// Only the 5 unprimed ids + the absent one may touch the store.
+	if getsAfter-getsBefore > 6 {
+		t.Errorf("batch issued %d inner gets, want <= 6", getsAfter-getsBefore)
+	}
+}
+
+func TestCacheConcurrentResolveBuildRace(t *testing.T) {
+	// Writers keep appending versions while readers resolve whatever is
+	// already published; run with -race. Mirrors concurrent mappers over
+	// a growing blob.
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 128)
+	m := meta()
+	h := &blob.History{}
+	var mu sync.Mutex // guards h
+	const versions = 24
+
+	mustAppend(t, h, blob.WriteDesc{Version: 1, Off: 0, Len: 4 * B, SizeAfter: 4 * B, Kind: blob.KindAppend})
+	if _, err := Build(ctx, cache, m, h, 1, refs(1, 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var published atomic.Int64
+	published.Store(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for v := blob.Version(2); v <= versions; v++ {
+			mu.Lock()
+			mustAppendDesc := blob.WriteDesc{Version: v, Off: 0, Len: 2 * B, SizeAfter: 4 * B}
+			if err := h.Append(mustAppendDesc); err != nil {
+				mu.Unlock()
+				t.Error(err)
+				return
+			}
+			snap := h.Clone()
+			mu.Unlock()
+			if _, err := Build(ctx, cache, m, snap, v, refs(uint64(v), 2, 0)); err != nil {
+				t.Error(err)
+				return
+			}
+			published.Store(int64(v))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := blob.Version(published.Load())
+				ext, err := Resolve(ctx, cache, m, v, 4*B, blob.Range{Off: 0, Len: 4 * B})
+				if err != nil {
+					t.Errorf("resolve v%d: %v", v, err)
+					return
+				}
+				var total int64
+				for _, e := range ext {
+					total += e.Len
+				}
+				if total != 4*B {
+					t.Errorf("resolve v%d covered %d bytes", v, total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCacheShardSpread(t *testing.T) {
+	// Sequential tree NodeIDs must not all land in one shard.
+	c := NewNodeCache(NewMemStore(), 0)
+	counts := make(map[*cacheShard]int)
+	for i := 0; i < 1024; i++ {
+		counts[c.shard(NodeID{Blob: 1, Version: 3, Off: int64(i) * B, Span: B})]++
+	}
+	if len(counts) < cacheShardCount/2 {
+		t.Errorf("1024 sequential ids hit only %d/%d shards", len(counts), cacheShardCount)
+	}
+	for s, n := range counts {
+		if n > 1024/2 {
+			t.Errorf("shard %p owns %d/1024 ids", s, n)
+		}
+	}
+}
+
+func TestCacheThroughDHTStoreKeysDiffer(t *testing.T) {
+	// Guard against NodeID map-key collisions: distinct ids must stay
+	// distinct entries.
+	ctx := context.Background()
+	cache := NewNodeCache(NewMemStore(), 0)
+	a := NodeID{Blob: 1, Version: 1, Off: 0, Span: 2 * B}
+	b := NodeID{Blob: 1, Version: 1, Off: 0, Span: B}
+	if err := cache.Put(ctx, Node{ID: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Put(ctx, Node{ID: b, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	na, err := cache.Get(ctx, a)
+	if err != nil || na.Leaf {
+		t.Errorf("inner node corrupted: %+v, %v", na, err)
+	}
+	nb, err := cache.Get(ctx, b)
+	if err != nil || !nb.Leaf {
+		t.Errorf("leaf corrupted: %+v, %v", nb, err)
+	}
+}
+
+func TestCacheInvalidateVersion(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	for v := blob.Version(1); v <= 2; v++ {
+		for i := 0; i < 4; i++ {
+			n := Node{ID: NodeID{Blob: 1, Version: v, Off: int64(i) * B, Span: B}, Leaf: true}
+			if err := cache.Put(ctx, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if dropped := cache.InvalidateVersion(1, 1); dropped != 4 {
+		t.Errorf("invalidated %d nodes, want 4", dropped)
+	}
+	_, gets0 := inner.Ops()
+	// Version 1 must refetch from the store, version 2 must still hit.
+	if _, err := cache.Get(ctx, NodeID{Blob: 1, Version: 1, Off: 0, Span: B}); err != nil {
+		t.Fatal(err)
+	}
+	if _, gets := inner.Ops(); gets != gets0+1 {
+		t.Errorf("invalidated node served from cache (gets %d -> %d)", gets0, gets)
+	}
+	if _, err := cache.Get(ctx, NodeID{Blob: 1, Version: 2, Off: 0, Span: B}); err != nil {
+		t.Fatal(err)
+	}
+	if _, gets := inner.Ops(); gets != gets0+1 {
+		t.Error("version 2 node was invalidated too")
+	}
+}
+
+func TestCacheRefreshesRepairedNode(t *testing.T) {
+	// Abort repair re-Builds an aborted version's nodes in place with
+	// empty block refs; a write-through of the repaired node must
+	// replace the cached original, not be ignored.
+	ctx := context.Background()
+	cache := NewNodeCache(NewMemStore(), 0)
+	id := NodeID{Blob: 1, Version: 1, Off: 0, Span: B}
+	orig := Node{ID: id, Leaf: true, Block: BlockRef{Key: blob.BlockKey{Blob: 1, Nonce: 7}, Providers: []string{"p1"}, Len: B}}
+	if err := cache.Put(ctx, orig); err != nil {
+		t.Fatal(err)
+	}
+	repaired := Node{ID: id, Leaf: true} // no providers: reads as zeros
+	if err := cache.Put(ctx, repaired); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cache.Get(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Block.Providers) != 0 {
+		t.Errorf("cache still serves the pre-repair node: %+v", got)
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cache := NewNodeCache(inner, 0)
+	id := NodeID{Blob: 2, Version: 1, Off: 0, Span: B}
+	if err := inner.Put(ctx, Node{ID: id, Leaf: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Get(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Get(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheGetBatchSingleflightAcrossCallers(t *testing.T) {
+	// Two concurrent GetBatch calls over the same cold ids must not both
+	// hit the store for every id.
+	ctx := context.Background()
+	mem := NewMemStore()
+	ids := make([]NodeID, 16)
+	for i := range ids {
+		ids[i] = NodeID{Blob: 1, Version: 1, Off: int64(i) * B, Span: B}
+		if err := mem.Put(ctx, Node{ID: ids[i], Leaf: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewNodeCache(mem, 0)
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := cache.GetBatch(ctx, ids)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(ids) {
+				t.Errorf("resolved %d/%d", len(got), len(ids))
+			}
+		}()
+	}
+	wg.Wait()
+	_, gets := mem.Ops()
+	if gets > int64(len(ids)*callers/2) {
+		t.Errorf("%d inner gets for %d ids x %d callers (dedup ineffective)", gets, len(ids), callers)
+	}
+}

@@ -18,7 +18,7 @@ package mdtree
 import (
 	"context"
 	"fmt"
-	"sync"
+	"sort"
 
 	"blobseer/internal/blob"
 )
@@ -72,6 +72,19 @@ type Node struct {
 type Store interface {
 	Put(ctx context.Context, n Node) error
 	Get(ctx context.Context, id NodeID) (Node, error)
+}
+
+// BatchStore is the optional multi-op capability of a Store. Build uses
+// PutBatch to ship a whole patch's nodes grouped per provider, and
+// Resolve uses GetBatch to fetch a whole tree level in one round-trip
+// per provider — the difference between O(nodes) and O(depth) metadata
+// latency on the read path. GetBatch omits missing nodes from its
+// result instead of failing, but must return an error when a node's
+// presence could not be decided (e.g. all replicas unreachable).
+type BatchStore interface {
+	Store
+	PutBatch(ctx context.Context, nodes []Node) error
+	GetBatch(ctx context.Context, ids []NodeID) (map[NodeID]Node, error)
 }
 
 // putConcurrency bounds parallel node stores during a Build.
@@ -177,30 +190,13 @@ func (b *builder) node(r blob.Range) (ChildRef, error) {
 	return ChildRef{Version: b.v}, nil
 }
 
-// putAll stores nodes with bounded concurrency; any failure aborts.
+// putAll stores nodes: one batched multi-put when the store supports
+// it, bounded-concurrency single puts otherwise. Any failure aborts.
 func putAll(ctx context.Context, st Store, nodes []Node) error {
-	sem := make(chan struct{}, putConcurrency)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for _, n := range nodes {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(n Node) {
-			defer func() { <-sem; wg.Done() }()
-			if err := st.Put(ctx, n); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(n)
+	if bs, ok := st.(BatchStore); ok {
+		return bs.PutBatch(ctx, nodes)
 	}
-	wg.Wait()
-	return firstErr
+	return putAllSingles(ctx, st, nodes)
 }
 
 // PlanNodes returns the node IDs version v would materialize, without
@@ -239,8 +235,14 @@ type Extent struct {
 
 // Resolve walks the tree of version v and returns the ordered extents
 // covering r. size is the blob size at v (from the version manager);
-// r is clamped against it. Resolve performs one Store.Get per visited
-// node — O(blocks in r + log(span)) — and needs no history.
+// r is clamped against it. Resolve needs no history.
+//
+// The walk is a frontier BFS: every tree level is fetched at once, so
+// on a BatchStore the whole resolution costs O(depth) batched
+// round-trips instead of one blocking round-trip per visited node —
+// the metadata hot path the paper requires to never serialize readers.
+// On a plain Store the same traversal degrades gracefully to one Get
+// per node.
 func Resolve(ctx context.Context, st Store, meta blob.Meta, v blob.Version, size int64, r blob.Range) ([]Extent, error) {
 	if v == blob.NoVersion || size <= 0 {
 		return nil, nil
@@ -254,50 +256,95 @@ func Resolve(ctx context.Context, st Store, meta blob.Meta, v blob.Version, size
 	if r.IsEmpty() {
 		return nil, nil
 	}
-	res := &resolver{ctx: ctx, st: st, meta: meta, want: r}
+	want := r
+	bs, _ := st.(BatchStore)
 	span := blob.SpanBytes(size, meta.BlockSize)
-	root := blob.Range{Off: 0, Len: span}
-	if err := res.walk(ChildRef{Version: v}, root); err != nil {
-		return nil, err
+
+	// A slot is one child reference still to be expanded, with the range
+	// it covers. The frontier holds one tree level at a time.
+	type slot struct {
+		ref   ChildRef
+		cover blob.Range
 	}
-	return res.out, nil
+	frontier := []slot{{ref: ChildRef{Version: v}, cover: blob.Range{Off: 0, Len: span}}}
+	var out []Extent
+	ids := make([]NodeID, 0, 16)
+	covers := make([]blob.Range, 0, 16)
+	for len(frontier) > 0 {
+		// Split the level into holes (resolved immediately) and present
+		// nodes (fetched together).
+		ids, covers = ids[:0], covers[:0]
+		for _, s := range frontier {
+			part := s.cover.Intersection(want)
+			if part.IsEmpty() {
+				continue
+			}
+			if !s.ref.Present() {
+				out = append(out, Extent{FileOff: part.Off, Len: part.Len})
+				continue
+			}
+			ids = append(ids, NodeID{Blob: meta.ID, Version: s.ref.Version, Off: s.cover.Off, Span: s.cover.Len})
+			covers = append(covers, s.cover)
+		}
+		if len(ids) == 0 {
+			break
+		}
+		nodes, err := fetchLevel(ctx, st, bs, ids)
+		if err != nil {
+			return nil, err
+		}
+		var next []slot
+		for i, n := range nodes {
+			cover := covers[i]
+			part := cover.Intersection(want)
+			if n.Leaf {
+				out = append(out, Extent{
+					FileOff: part.Off,
+					Len:     part.Len,
+					HasData: true,
+					Block:   n.Block,
+					DataOff: part.Off - cover.Off,
+				})
+				continue
+			}
+			half := cover.Len / 2
+			next = append(next,
+				slot{ref: n.Left, cover: blob.Range{Off: cover.Off, Len: half}},
+				slot{ref: n.Right, cover: blob.Range{Off: cover.Off + half, Len: half}})
+		}
+		frontier = next
+	}
+	// Extents surface in level order (a hole two levels up precedes a
+	// deeper leaf to its left); they are disjoint, so sorting by offset
+	// restores the contract of ordered extents.
+	sort.Slice(out, func(i, j int) bool { return out[i].FileOff < out[j].FileOff })
+	return out, nil
 }
 
-type resolver struct {
-	ctx  context.Context
-	st   Store
-	meta blob.Meta
-	want blob.Range
-	out  []Extent
-}
-
-func (r *resolver) walk(ref ChildRef, cover blob.Range) error {
-	part := cover.Intersection(r.want)
-	if part.IsEmpty() {
-		return nil
+// fetchLevel gets one BFS level's nodes, batched when possible. The
+// returned slice parallels ids.
+func fetchLevel(ctx context.Context, st Store, bs BatchStore, ids []NodeID) ([]Node, error) {
+	nodes := make([]Node, len(ids))
+	if bs == nil || len(ids) == 1 {
+		for i, id := range ids {
+			n, err := st.Get(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("mdtree: fetch %s: %w", id.Key(), err)
+			}
+			nodes[i] = n
+		}
+		return nodes, nil
 	}
-	if !ref.Present() {
-		r.out = append(r.out, Extent{FileOff: part.Off, Len: part.Len})
-		return nil
-	}
-	id := NodeID{Blob: r.meta.ID, Version: ref.Version, Off: cover.Off, Span: cover.Len}
-	n, err := r.st.Get(r.ctx, id)
+	got, err := bs.GetBatch(ctx, ids)
 	if err != nil {
-		return fmt.Errorf("mdtree: fetch %s: %w", id.Key(), err)
+		return nil, fmt.Errorf("mdtree: fetch level (%d nodes): %w", len(ids), err)
 	}
-	if n.Leaf {
-		r.out = append(r.out, Extent{
-			FileOff: part.Off,
-			Len:     part.Len,
-			HasData: true,
-			Block:   n.Block,
-			DataOff: part.Off - cover.Off,
-		})
-		return nil
+	for i, id := range ids {
+		n, ok := got[id]
+		if !ok {
+			return nil, fmt.Errorf("mdtree: fetch %s: node not found", id.Key())
+		}
+		nodes[i] = n
 	}
-	half := cover.Len / 2
-	if err := r.walk(n.Left, blob.Range{Off: cover.Off, Len: half}); err != nil {
-		return err
-	}
-	return r.walk(n.Right, blob.Range{Off: cover.Off + half, Len: half})
+	return nodes, nil
 }

@@ -29,7 +29,7 @@ func refs(nonce uint64, n int, lastLen int64) []BlockRef {
 	return out
 }
 
-func mustAppend(t *testing.T, h *blob.History, d blob.WriteDesc) {
+func mustAppend(t testing.TB, h *blob.History, d blob.WriteDesc) {
 	t.Helper()
 	if err := h.Append(d); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,108 @@
+package mdtree
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"blobseer/internal/blob"
+)
+
+// simnetStore models the DHT over a network: every round-trip (one Get
+// or one multi-Get, regardless of batch size) costs one RTT. It is the
+// store the acceptance benchmarks run on — ns/op is then dominated by
+// round-trip count, exactly what the batching work optimizes.
+type simnetStore struct {
+	*MemStore
+	rtt time.Duration
+}
+
+func (s *simnetStore) Get(ctx context.Context, id NodeID) (Node, error) {
+	time.Sleep(s.rtt)
+	return s.MemStore.Get(ctx, id)
+}
+
+func (s *simnetStore) GetBatch(ctx context.Context, ids []NodeID) (map[NodeID]Node, error) {
+	time.Sleep(s.rtt)
+	return s.MemStore.GetBatch(ctx, ids)
+}
+
+// benchRTT is small enough to keep -benchtime=1x smokes fast and large
+// enough to dwarf in-memory map costs.
+const benchRTT = 50 * time.Microsecond
+
+const benchBlocks = 64
+
+func benchTree(b *testing.B) (*simnetStore, blob.Meta) {
+	b.Helper()
+	st := &simnetStore{MemStore: NewMemStore(), rtt: benchRTT}
+	_, m := buildBlocks(b, st, benchBlocks)
+	return st, m
+}
+
+// BenchmarkResolveSequential is the pre-batching baseline: one blocking
+// round-trip per visited node.
+func BenchmarkResolveSequential(b *testing.B) {
+	st, m := benchTree(b)
+	seq := &seqBenchStore{inner: st}
+	size := int64(benchBlocks) * B
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Resolve(context.Background(), seq, m, 1, size, blob.Range{Off: 0, Len: size}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveBatched is the frontier-BFS path: one round-trip per
+// tree level.
+func BenchmarkResolveBatched(b *testing.B) {
+	st, m := benchTree(b)
+	size := int64(benchBlocks) * B
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Resolve(context.Background(), st, m, 1, size, blob.Range{Off: 0, Len: size}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveCold reads through a NodeCache that never has the
+// nodes: batched fetch plus cache insertion overhead.
+func BenchmarkResolveCold(b *testing.B) {
+	st, m := benchTree(b)
+	size := int64(benchBlocks) * B
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := NewNodeCache(st, 0) // fresh cache: all misses
+		if _, err := Resolve(context.Background(), cache, m, 1, size, blob.Range{Off: 0, Len: size}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveWarm re-reads a range whose tree is fully cached:
+// zero DHT round-trips (the many-mappers-one-input pattern).
+func BenchmarkResolveWarm(b *testing.B) {
+	st, m := benchTree(b)
+	size := int64(benchBlocks) * B
+	cache := NewNodeCache(st, 0)
+	if _, err := Resolve(context.Background(), cache, m, 1, size, blob.Range{Off: 0, Len: size}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Resolve(context.Background(), cache, m, 1, size, blob.Range{Off: 0, Len: size}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// seqBenchStore hides batching from Resolve (distinct from seqStore so
+// the benchmarks do not depend on test-only counters).
+type seqBenchStore struct{ inner Store }
+
+func (s *seqBenchStore) Put(ctx context.Context, n Node) error { return s.inner.Put(ctx, n) }
+func (s *seqBenchStore) Get(ctx context.Context, id NodeID) (Node, error) {
+	return s.inner.Get(ctx, id)
+}

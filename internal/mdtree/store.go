@@ -54,10 +54,12 @@ func DecodeNode(id NodeID, val []byte) (Node, error) {
 // manager's repair planner tests and the simulator. It counts
 // operations so experiments can charge DHT message costs.
 type MemStore struct {
-	mu    sync.RWMutex
-	nodes map[string]Node
-	puts  int64
-	gets  int64
+	mu         sync.RWMutex
+	nodes      map[string]Node
+	puts       int64 // individual nodes stored (batched or not)
+	gets       int64 // individual nodes fetched (batched or not)
+	putBatches int64 // PutBatch calls
+	getBatches int64 // GetBatch calls
 }
 
 // NewMemStore returns an empty in-memory tree store.
@@ -99,11 +101,49 @@ func (s *MemStore) Len() int {
 	return len(s.nodes)
 }
 
-// Ops returns cumulative (puts, gets).
+// Ops returns cumulative (puts, gets), counting individual nodes
+// whether they traveled alone or inside a batch.
 func (s *MemStore) Ops() (puts, gets int64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.puts, s.gets
+}
+
+// BatchOps returns the number of PutBatch and GetBatch calls — the
+// simulated round-trip count of the batched protocol.
+func (s *MemStore) BatchOps() (putBatches, getBatches int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.putBatches, s.getBatches
+}
+
+// PutBatch implements BatchStore: all nodes land atomically under one
+// lock, counting as one round-trip.
+func (s *MemStore) PutBatch(_ context.Context, nodes []Node) error {
+	s.mu.Lock()
+	for _, n := range nodes {
+		s.nodes[n.ID.Key()] = n
+	}
+	s.puts += int64(len(nodes))
+	s.putBatches++
+	s.mu.Unlock()
+	return nil
+}
+
+// GetBatch implements BatchStore: missing nodes are omitted from the
+// result, mirroring the DHT's authoritative-miss semantics.
+func (s *MemStore) GetBatch(_ context.Context, ids []NodeID) (map[NodeID]Node, error) {
+	out := make(map[NodeID]Node, len(ids))
+	s.mu.Lock()
+	s.gets += int64(len(ids))
+	s.getBatches++
+	for _, id := range ids {
+		if n, ok := s.nodes[id.Key()]; ok {
+			out[id] = n
+		}
+	}
+	s.mu.Unlock()
+	return out, nil
 }
 
 // DHTStore adapts the metadata DHT client to the tree Store interface —
@@ -127,6 +167,43 @@ func (s *DHTStore) Get(ctx context.Context, id NodeID) (Node, error) {
 		return Node{}, err
 	}
 	return DecodeNode(id, val)
+}
+
+// PutBatch implements BatchStore: the DHT client groups the encoded
+// nodes by provider and replicates each group with one parallel RPC
+// per provider.
+func (s *DHTStore) PutBatch(ctx context.Context, nodes []Node) error {
+	kvs := make([]wire.KV, len(nodes))
+	for i, n := range nodes {
+		kvs[i] = wire.KV{Key: n.ID.Key(), Val: EncodeNode(n)}
+	}
+	return s.c.PutBatch(ctx, kvs)
+}
+
+// GetBatch implements BatchStore: one multi-get RPC per provider, with
+// per-key replica fall-through on misses.
+func (s *DHTStore) GetBatch(ctx context.Context, ids []NodeID) (map[NodeID]Node, error) {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
+		keys[i] = id.Key()
+	}
+	vals, err := s.c.GetBatch(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]Node, len(vals))
+	for i, id := range ids {
+		val, ok := vals[keys[i]]
+		if !ok {
+			continue // authoritative miss: Resolve decides what it means
+		}
+		n, err := DecodeNode(id, val)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = n
+	}
+	return out, nil
 }
 
 // Delete implements Deleter (garbage collection of pruned versions).

@@ -13,6 +13,7 @@ package simstore
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/dht"
@@ -38,7 +39,7 @@ type Tuning struct {
 	VMService      sim.Time // version-manager service per op (the serialization point)
 	NNService      sim.Time // namenode service per op
 	MetaService    sim.Time // metadata provider service per op
-	MetaFanout     int      // concurrent DHT ops per writer
+	MetaFanout     int      // concurrent per-provider batch RPCs per client
 	PipelineDepth  int      // concurrent block flows per BSFS client
 
 	// HDFSLocalWriteBps caps a datanode's local write path (loopback
@@ -158,14 +159,27 @@ func (b *BSFS) CreateBlob(blockSize int64, replication int) blob.Meta {
 	return m
 }
 
-// chargeMetaOps bills DHT traffic for a set of tree-node keys:
-// MetaFanout-parallel rounds of one message + service each.
+// chargeMetaOps bills DHT traffic for a set of tree-node keys the way
+// the real client now ships them: grouped by responsible provider, one
+// batched RPC per provider in parallel. Each provider still pays the
+// per-node service time (its store is touched once per node), but the
+// per-node network round-trip collapses into one per provider.
 func (b *BSFS) chargeMetaOps(p *sim.Proc, client simnet.NodeID, keys []string) {
-	parallel(p, len(keys), b.Tun.MetaFanout, func(cp *sim.Proc, i int) {
-		addr := b.ring.Lookup(keys[i], 1)[0]
-		node := b.metaNode[addr]
-		b.Net.Message(cp, client, node, 256)
-		b.metaRes[addr].Use(cp, b.Tun.MetaService)
+	groups := make(map[string][]string)
+	for _, k := range keys {
+		addr := b.ring.Lookup(k, 1)[0]
+		groups[addr] = append(groups[addr], k)
+	}
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs) // deterministic simulation order
+	parallel(p, len(addrs), b.Tun.MetaFanout, func(cp *sim.Proc, i int) {
+		addr := addrs[i]
+		batch := groups[addr]
+		b.Net.Message(cp, client, b.metaNode[addr], 64+int64(len(batch))*192)
+		b.metaRes[addr].Use(cp, b.Tun.MetaService*sim.Time(len(batch)))
 	})
 }
 
@@ -254,19 +268,34 @@ func (b *BSFS) Write(p *sim.Proc, client simnet.NodeID, id blob.ID, kind blob.Wr
 	return a.Version, nil
 }
 
-// countingStore records the keys Resolve visits so reads can be billed.
+// countingStore records the fetch pattern Resolve produces so reads can
+// be billed: each GetBatch is one frontier level (one batched round-trip
+// per provider), each lone Get a level of one.
 type countingStore struct {
-	inner *mdtree.MemStore
-	keys  []string
+	inner  *mdtree.MemStore
+	levels [][]string
 }
 
 func (c *countingStore) Put(ctx context.Context, n mdtree.Node) error {
 	return c.inner.Put(ctx, n)
 }
 
+func (c *countingStore) PutBatch(ctx context.Context, nodes []mdtree.Node) error {
+	return c.inner.PutBatch(ctx, nodes)
+}
+
 func (c *countingStore) Get(ctx context.Context, id mdtree.NodeID) (mdtree.Node, error) {
-	c.keys = append(c.keys, id.Key())
+	c.levels = append(c.levels, []string{id.Key()})
 	return c.inner.Get(ctx, id)
+}
+
+func (c *countingStore) GetBatch(ctx context.Context, ids []mdtree.NodeID) (map[mdtree.NodeID]mdtree.Node, error) {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
+		keys[i] = id.Key()
+	}
+	c.levels = append(c.levels, keys)
+	return c.inner.GetBatch(ctx, ids)
 }
 
 // Read fetches [off, off+size) of the latest published version from
@@ -290,11 +319,12 @@ func (b *BSFS) Read(p *sim.Proc, client simnet.NodeID, id blob.ID, off, size int
 	if err != nil {
 		return 0, err
 	}
-	// Tree descent: sequential DHT gets (the path down the tree).
-	for _, key := range cs.keys {
-		addr := b.ring.Lookup(key, 1)[0]
-		b.Net.Message(p, client, b.metaNode[addr], 128)
-		b.metaRes[addr].Use(p, b.Tun.MetaService)
+	// Tree descent: one batched multi-get round per frontier level.
+	// Levels are inherently sequential (a level's children are unknown
+	// until it is fetched), but within a level all providers answer in
+	// parallel.
+	for _, level := range cs.levels {
+		b.chargeMetaOps(p, client, level)
 	}
 	// Block fetches.
 	total := int64(0)

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKVSliceRoundTrip(t *testing.T) {
+	kvs := []KV{
+		{Key: "t1/4/0/64", Val: []byte("left")},
+		{Key: "t1/4/64/64", Val: nil},
+		{Key: "", Val: []byte{0, 1, 2, 3}},
+	}
+	b := NewBuffer(0)
+	b.KVSlice(kvs)
+	r := NewReader(b.Bytes())
+	got := r.KVSlice()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(kvs) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(kvs))
+	}
+	for i := range kvs {
+		if got[i].Key != kvs[i].Key || !bytes.Equal(got[i].Val, kvs[i].Val) {
+			t.Errorf("pair %d = %q/%q, want %q/%q", i, got[i].Key, got[i].Val, kvs[i].Key, kvs[i].Val)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d trailing bytes", r.Remaining())
+	}
+}
+
+func TestKVSliceEmpty(t *testing.T) {
+	b := NewBuffer(0)
+	b.KVSlice(nil)
+	r := NewReader(b.Bytes())
+	if got := r.KVSlice(); len(got) != 0 || r.Err() != nil {
+		t.Errorf("empty slice = %v, %v", got, r.Err())
+	}
+}
+
+func TestKVSliceRejectsAbsurdCount(t *testing.T) {
+	// A corrupt count far beyond what the body could hold must fail
+	// instead of allocating.
+	b := NewBuffer(0)
+	b.U32(1 << 30)
+	r := NewReader(b.Bytes())
+	if got := r.KVSlice(); got != nil || r.Err() == nil {
+		t.Errorf("absurd count decoded: %v, err=%v", got, r.Err())
+	}
+}
+
+func TestKVSliceTruncated(t *testing.T) {
+	b := NewBuffer(0)
+	b.KVSlice([]KV{{Key: "k", Val: []byte("value")}})
+	enc := b.Bytes()
+	r := NewReader(enc[:len(enc)-2])
+	if got := r.KVSlice(); got != nil || r.Err() == nil {
+		t.Error("truncated KVSlice decoded")
+	}
+}

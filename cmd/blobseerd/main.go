@@ -136,7 +136,12 @@ func main() {
 		creator := namespace.VMBlobCreator(vmanager.NewClient(pool, *vmAddr))
 		mux = namespace.NewService(namespace.NewState(creator)).Mux()
 
-	case "provider", "datanode":
+	case "provider":
+		// Providers forward chain frames to downstream replicas over
+		// their own TCP pool.
+		mux = provider.NewService(newStore(), provider.WithForwarder(rpc.NewPool(rpc.TCPDialer))).Mux()
+
+	case "datanode":
 		mux = provider.NewService(newStore()).Mux()
 
 	case "namenode":

@@ -79,12 +79,24 @@ func main() {
 		mrepl   = flag.Int("meta-replication", 1, "DHT replication level")
 		mcache  = flag.Int("meta-cache", -1, "immutable-node cache entries (<0 default, 0 off)")
 		host    = flag.String("host", "", "client host label (affinity experiments)")
+		plane   = flag.String("data-plane", "chained", "write replication transport: chained | fanout")
+		frame   = flag.Int("frame-size", 0, "chained-plane streaming frame bytes (0 = default)")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	var dataPlane core.DataPlane
+	switch *plane {
+	case "chained":
+		dataPlane = core.DataPlaneChained
+	case "fanout":
+		dataPlane = core.DataPlaneFanout
+	default:
+		fatal(fmt.Errorf("unknown data plane %q (want chained or fanout)", *plane))
 	}
 
 	pool := rpc.NewPool(rpc.TCPDialer)
@@ -98,6 +110,8 @@ func main() {
 			MetaStore:     mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl)),
 			Host:          *host,
 			MetaCacheSize: *mcache,
+			DataPlane:     dataPlane,
+			FrameSize:     *frame,
 		}),
 		NS:          namespace.NewClient(pool, *nsAddr),
 		BlockSize:   *blockSz,

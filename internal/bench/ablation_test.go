@@ -58,10 +58,24 @@ func TestAblationBlockSizeInsensitiveForSingleWriter(t *testing.T) {
 
 func TestAblationReplicationScalesCost(t *testing.T) {
 	series := AblationReplication(2, []int{1, 2})
-	r1, r2 := single(t, series[0]), single(t, series[1])
-	ratio := r1 / r2
+	byName := map[string]float64{}
+	for _, s := range series {
+		byName[s.Name] = single(t, s)
+	}
+	// Fan-out pays the full replication tax on the client uplink.
+	ratio := byName["repl=1 fanout"] / byName["repl=2 fanout"]
 	if ratio < 1.8 || ratio > 2.2 {
-		t.Errorf("doubling replication should halve write throughput: r1 %.1f, r2 %.1f (ratio %.2f)", r1, r2, ratio)
+		t.Errorf("doubling fan-out replication should halve write throughput: ratio %.2f (%v)", ratio, byName)
+	}
+	// Chain replication moves that tax provider-to-provider: at R=2 it
+	// must clearly beat fan-out, and stay near its own R=1 rate.
+	if byName["repl=2 chained"] <= 1.5*byName["repl=2 fanout"] {
+		t.Errorf("chained r2 %.1f should beat fanout r2 %.1f by >1.5x",
+			byName["repl=2 chained"], byName["repl=2 fanout"])
+	}
+	if byName["repl=2 chained"] < 0.8*byName["repl=1 chained"] {
+		t.Errorf("chained write throughput should be near replication-insensitive: r1 %.1f, r2 %.1f",
+			byName["repl=1 chained"], byName["repl=2 chained"])
 	}
 }
 

@@ -75,7 +75,15 @@ type BlockKey struct {
 }
 
 func (k BlockKey) String() string {
-	return fmt.Sprintf("b%d/%x/%d", k.Blob, k.Nonce, k.Seq)
+	return fmt.Sprintf("%s%d", k.WritePrefix(), k.Seq)
+}
+
+// WritePrefix returns the store-key prefix shared by every block the
+// write operation (blob + nonce) stored, and by no other write: the
+// trailing separator keeps nonce 0x1 from matching nonce 0x12. Provider
+// garbage collection deletes by this prefix.
+func (k BlockKey) WritePrefix() string {
+	return fmt.Sprintf("b%d/%x/", k.Blob, k.Nonce)
 }
 
 // Meta is the per-blob static configuration fixed at creation time.

@@ -1,6 +1,7 @@
 package blob
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -249,5 +250,30 @@ func TestBlockKeyString(t *testing.T) {
 	k := BlockKey{Blob: 7, Nonce: 0xff, Seq: 3}
 	if k.String() != "b7/ff/3" {
 		t.Errorf("BlockKey string = %q", k.String())
+	}
+}
+
+func TestBlockKeyWritePrefix(t *testing.T) {
+	w := BlockKey{Blob: 1, Nonce: 0x1}
+	// The prefix matches every seq of the same write...
+	for _, seq := range []uint32{0, 1, 9, 10, 12345, 1<<32 - 1} {
+		k := BlockKey{Blob: w.Blob, Nonce: w.Nonce, Seq: seq}
+		if !strings.HasPrefix(k.String(), w.WritePrefix()) {
+			t.Errorf("prefix %q does not match %q", w.WritePrefix(), k)
+		}
+	}
+	// ...and never a key of a different nonce or blob, even ones whose
+	// decimal/hex renderings share leading digits.
+	others := []BlockKey{
+		{Blob: 1, Nonce: 0x12, Seq: 0},
+		{Blob: 1, Nonce: 0x10, Seq: 0},
+		{Blob: 1, Nonce: 0x21, Seq: 0},
+		{Blob: 11, Nonce: 0x1, Seq: 0},
+		{Blob: 2, Nonce: 0x1, Seq: 0},
+	}
+	for _, o := range others {
+		if strings.HasPrefix(o.String(), w.WritePrefix()) {
+			t.Errorf("prefix %q wrongly matches %q", w.WritePrefix(), o)
+		}
 	}
 }

@@ -34,8 +34,10 @@ type Config struct {
 	MetaReplication int // DHT replication level
 	MetaCacheSize   int // per-client immutable-node cache entries (<0 default, 0 off)
 	Strategy        placement.Strategy
-	WriteTimeout    time.Duration // janitor abort threshold; 0 disables
-	UseTCP          bool          // listen on loopback TCP instead of inproc
+	WriteTimeout    time.Duration  // janitor abort threshold; 0 disables
+	UseTCP          bool           // listen on loopback TCP instead of inproc
+	DataPlane       core.DataPlane // write transport (chained by default)
+	FrameSize       int            // chained-plane frame size (0 = provider default)
 }
 
 func (c *Config) fill() {
@@ -173,7 +175,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	// Data providers; each lives on its own synthetic host, mirroring
 	// the paper's one-provider-per-machine deployment.
 	for i := 0; i < cfg.DataProviders; i++ {
-		svc := provider.NewService(store.NewMemStore())
+		svc := provider.NewService(store.NewMemStore(), provider.WithForwarder(c.Pool))
 		addr, err := serve(fmt.Sprintf("provider-%d", i), svc.Mux())
 		if err != nil {
 			c.Stop()
@@ -200,6 +202,8 @@ func (c *BlobSeer) NewClient(host string) *core.Client {
 		MetaStore:     c.MetaStore,
 		Host:          host,
 		MetaCacheSize: c.Cfg.MetaCacheSize,
+		DataPlane:     c.Cfg.DataPlane,
+		FrameSize:     c.Cfg.FrameSize,
 	})
 }
 

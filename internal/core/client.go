@@ -41,6 +41,21 @@ const (
 	fetchConcurrency = 16 // block downloads in flight per read
 )
 
+// DataPlane selects how a write's blocks reach their replicas.
+type DataPlane int
+
+const (
+	// DataPlaneChained (the default) streams each block once to the
+	// head of a replica chain; providers forward frames hop to hop, so
+	// the client's egress is B bytes per block regardless of the
+	// replication level. A failed chain falls back to fan-out for the
+	// affected block.
+	DataPlaneChained DataPlane = iota
+	// DataPlaneFanout is the legacy path: the client pushes every
+	// replica itself, costing R×B of client uplink per block.
+	DataPlaneFanout
+)
+
 // Config wires a Client to a deployment.
 type Config struct {
 	Pool      *rpc.Pool
@@ -56,22 +71,37 @@ type Config struct {
 	// enabling whenever the same ranges are read repeatedly (MapReduce
 	// input scans).
 	MetaCacheSize int
+
+	// DataPlane selects the replication transport for writes
+	// (DataPlaneChained by default).
+	DataPlane DataPlane
+
+	// FrameSize overrides the chained data plane's streaming frame
+	// payload size (provider.DefaultFrameSize if 0).
+	FrameSize int
 }
 
 // Client is a BlobSeer client. It is safe for concurrent use; all
 // state it keeps is cache (histories, provider host map).
 type Client struct {
-	vm    *vmanager.Client
-	pm    *pmanager.Client
-	prov  *provider.Client
-	meta  mdtree.Store
-	host  string
-	nonce nonceSource
+	vm        *vmanager.Client
+	pm        *pmanager.Client
+	prov      *provider.Client
+	meta      mdtree.Store
+	host      string
+	plane     DataPlane
+	frameSize int
+	nonce     nonceSource
+	readRR    atomic.Uint64 // rotates the first replica tried per fetch
+	putSem    chan struct{} // global cap on concurrent per-replica puts
+
+	chainFallbacks atomic.Uint64 // blocks that fell back to fan-out
 
 	mu        sync.Mutex
 	histories map[blob.ID]*blob.History
 	metas     map[blob.ID]blob.Meta
-	hosts     map[string]string // provider addr -> host
+	hosts     map[string]string   // provider addr -> host
+	noChain   map[string]struct{} // heads that answered CodeChainUnsupported
 }
 
 // NewClient builds a client from cfg.
@@ -83,12 +113,21 @@ func NewClient(cfg Config) *Client {
 		prov:      provider.NewClient(cfg.Pool),
 		meta:      meta,
 		host:      cfg.Host,
+		plane:     cfg.DataPlane,
+		frameSize: cfg.FrameSize,
 		nonce:     newNonceSource(),
+		putSem:    make(chan struct{}, putConcurrency),
 		histories: make(map[blob.ID]*blob.History),
 		metas:     make(map[blob.ID]blob.Meta),
 		hosts:     make(map[string]string),
+		noChain:   make(map[string]struct{}),
 	}
 }
+
+// ChainFallbacks reports how many blocks this client pushed through the
+// fan-out fallback because their replica chain failed — the signal that
+// a deployment is quietly paying R×B of client egress again.
+func (c *Client) ChainFallbacks() uint64 { return c.chainFallbacks.Load() }
 
 // MetaCacheStats returns the client's node-cache counters, or zeroes
 // when the client runs uncached.
@@ -196,6 +235,9 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 	}
 
 	// Phase 1b: store all blocks, fully parallel with other writers.
+	// One worker per block (putConcurrency in flight): the chained
+	// plane ships the block once to the head of its replica chain, the
+	// fan-out plane pushes every replica itself.
 	nonce := c.nonce.next()
 	refs := make([]mdtree.BlockRef, nBlocks)
 	sem := make(chan struct{}, putConcurrency)
@@ -211,20 +253,24 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 		key := blob.BlockKey{Blob: id, Nonce: nonce, Seq: uint32(i)}
 		refs[i] = mdtree.BlockRef{Key: key, Providers: targets[i], Len: end - start}
 		chunk := data[start:end]
-		for _, addr := range targets[i] {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(addr string, key blob.BlockKey, chunk []byte) {
-				defer func() { <-sem; wg.Done() }()
-				if err := c.prov.Put(ctx, addr, key, chunk); err != nil {
-					werrMu.Lock()
-					if werr == nil {
-						werr = fmt.Errorf("core: store block %s on %s: %w", key, addr, err)
-					}
-					werrMu.Unlock()
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(replicas []string, key blob.BlockKey, chunk []byte) {
+			defer func() { <-sem; wg.Done() }()
+			var err error
+			if c.plane == DataPlaneChained {
+				err = c.putBlockChained(ctx, replicas, key, chunk)
+			} else {
+				err = c.putBlockFanout(ctx, replicas, key, chunk)
+			}
+			if err != nil {
+				werrMu.Lock()
+				if werr == nil {
+					werr = err
 				}
-			}(addr, key, chunk)
-		}
+				werrMu.Unlock()
+			}
+		}(targets[i], key, chunk)
 	}
 	wg.Wait()
 	if werr != nil {
@@ -244,6 +290,13 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 	}
 	hist, err := c.extendHistory(id, a.Descs)
 	if err != nil {
+		// The version was assigned: leaving it dangling would stall
+		// publication of every later version until the janitor notices.
+		// Abort it so the version manager repairs the line now.
+		if aerr := c.vm.Abort(ctx, id, a.Version); aerr != nil {
+			return 0, fmt.Errorf("core: history cache failed (%v) and abort failed: %w", err, aerr)
+		}
+		c.gcBlocks(id, nonce, targets)
 		return 0, fmt.Errorf("core: history cache: %w", err)
 	}
 
@@ -273,6 +326,99 @@ func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, o
 		return 0, err
 	}
 	return a.Version, nil
+}
+
+// putBlockChained stores one block on all its replicas through the
+// streaming chain, falling back to direct fan-out when any chain hop
+// fails mid-write (mixed-version providers, a dead downstream hop).
+// Plain puts are idempotent whole-block writes, so replicas the chain
+// did reach are simply overwritten; the write only fails if a replica
+// is truly down.
+func (c *Client) putBlockChained(ctx context.Context, replicas []string, key blob.BlockKey, chunk []byte) error {
+	chain := c.chainOrder(ctx, replicas)
+	c.mu.Lock()
+	_, headNoChain := c.noChain[chain[0]]
+	c.mu.Unlock()
+	if !headNoChain {
+		err := c.prov.PutChained(ctx, chain, key, chunk, c.frameSize)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context died, not the chain: re-sending R
+			// full copies through the fan-out would be a doomed egress
+			// burst (and would misreport chain health).
+			return err
+		}
+		if rpc.CodeOf(err) == provider.CodeChainUnsupported {
+			// The head itself cannot forward (old-version or tail-only
+			// deployment) — a permanent property, so stop attempting
+			// chains headed there instead of paying a doomed round
+			// trip per block.
+			c.mu.Lock()
+			c.noChain[chain[0]] = struct{}{}
+			c.mu.Unlock()
+		}
+	}
+	c.chainFallbacks.Add(1)
+	return c.putBlockFanout(ctx, replicas, key, chunk)
+}
+
+// putBlockFanout pushes one block to each of its replicas in parallel —
+// the legacy data plane, and the chained plane's per-block fallback.
+// The client-wide putSem keeps the total number of in-flight puts at
+// putConcurrency no matter how many blocks fan out at once (block
+// workers hold slots of a different semaphore, so this cannot cycle).
+func (c *Client) putBlockFanout(ctx context.Context, replicas []string, key blob.BlockKey, chunk []byte) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ferr error
+	for _, addr := range replicas {
+		wg.Add(1)
+		c.putSem <- struct{}{}
+		go func(addr string) {
+			defer func() { <-c.putSem; wg.Done() }()
+			if err := c.prov.Put(ctx, addr, key, chunk); err != nil {
+				mu.Lock()
+				if ferr == nil {
+					ferr = fmt.Errorf("core: store block %s on %s: %w", key, addr, err)
+				}
+				mu.Unlock()
+			}
+		}(addr)
+	}
+	wg.Wait()
+	return ferr
+}
+
+// localReplicaIndex returns the index of the replica co-hosted with the
+// client, or -1 when there is none (or the client has no host label).
+func (c *Client) localReplicaIndex(ctx context.Context, replicas []string) int {
+	if c.host == "" || len(replicas) < 2 {
+		return -1
+	}
+	for i, h := range c.hostsFor(ctx, replicas) {
+		if h == c.host {
+			return i
+		}
+	}
+	return -1
+}
+
+// chainOrder orders a block's replica set for chain transfer: the
+// provider co-hosted with the client (if any) leads, so the first hop
+// stays on the local machine and the block leaves the client NIC at
+// most once.
+func (c *Client) chainOrder(ctx context.Context, replicas []string) []string {
+	i := c.localReplicaIndex(ctx, replicas)
+	if i <= 0 {
+		return replicas
+	}
+	ordered := make([]string, 0, len(replicas))
+	ordered = append(ordered, replicas[i])
+	ordered = append(ordered, replicas[:i]...)
+	ordered = append(ordered, replicas[i+1:]...)
+	return ordered
 }
 
 // invalidateMetaVersion purges a version's nodes from the client's
@@ -396,10 +542,24 @@ func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, leng
 	return buf, nil
 }
 
-// fetchExtent reads one extent, failing over across replicas.
+// fetchExtent reads one extent. A replica co-hosted with the client is
+// tried first (Map/Reduce schedules tasks onto replica hosts expecting
+// a local read); otherwise the starting replica rotates so concurrent
+// readers spread load across the replica set instead of serializing on
+// the first address. Either way the remaining replicas serve as
+// failover.
 func (c *Client) fetchExtent(ctx context.Context, e mdtree.Extent) ([]byte, error) {
+	n := len(e.Block.Providers)
+	start := c.localReplicaIndex(ctx, e.Block.Providers)
+	if start < 0 {
+		start = 0
+		if n > 1 {
+			start = int(c.readRR.Add(1) % uint64(n))
+		}
+	}
 	var lastErr error
-	for _, addr := range e.Block.Providers {
+	for i := 0; i < n; i++ {
+		addr := e.Block.Providers[(start+i)%n]
 		data, err := c.prov.Get(ctx, addr, e.Block.Key, e.DataOff, e.Len)
 		if err == nil {
 			return data, nil
@@ -479,6 +639,15 @@ func (c *Client) hostsFor(ctx context.Context, addrs []string) []string {
 			c.mu.Lock()
 			for _, in := range infos {
 				c.hosts[in.Addr] = in.Host
+			}
+			// Addresses the membership no longer lists (dead and
+			// deregistered providers referenced by old block refs) are
+			// cached as unknown, so they don't re-trigger a List
+			// round-trip on every subsequent fetch.
+			for _, a := range addrs {
+				if _, ok := c.hosts[a]; !ok {
+					c.hosts[a] = ""
+				}
 			}
 			c.mu.Unlock()
 		}

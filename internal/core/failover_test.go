@@ -72,6 +72,121 @@ func TestReadFailsOverToReplica(t *testing.T) {
 	}
 }
 
+// TestWriteFallsBackWhenChainBreaks: a provider that errors mid-chain
+// (a mixed-version or misbehaving hop) must not fail the write — the
+// client falls back to per-replica fan-out, and every block still ends
+// up on its full replica set.
+func TestWriteFallsBackWhenChainBreaks(t *testing.T) {
+	const block = int64(4 * util.KB)
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 3,
+		MetaProviders: 2,
+		BlockSize:     block,
+		Replication:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+
+	// Every provider refuses chained puts; plain puts still work.
+	for _, addr := range cl.ProviderAddrs {
+		cl.ProviderService(addr).BreakChain(true)
+	}
+
+	c := cl.NewClient("")
+	m, err := c.Create(ctx, block, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x77}, int(4*block))
+	v, err := c.Append(ctx, m.ID, payload)
+	if err != nil {
+		t.Fatalf("write through broken chain did not fall back: %v", err)
+	}
+	if n := c.ChainFallbacks(); n != 4 {
+		t.Errorf("ChainFallbacks = %d, want 4 (one per block)", n)
+	}
+
+	// The fallback must have reached the full replica set: losing any
+	// one copy of every block leaves the data readable.
+	extents, err := mdtree.Resolve(ctx, cl.MetaStore, m, v, int64(len(payload)),
+		blob.Range{Off: 0, Len: int64(len(payload))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range extents {
+		if len(e.Block.Providers) != 2 {
+			t.Fatalf("block %s has %d replicas, want 2", e.Block.Key, len(e.Block.Providers))
+		}
+		// Alternate which replica dies so both rotation positions see a
+		// failure at some block.
+		st := cl.ProviderService(e.Block.Providers[i%2]).Store()
+		if err := st.Delete(e.Block.Key.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Read(ctx, m.ID, v, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatalf("read after alternating replica loss: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover read returned wrong bytes")
+	}
+}
+
+// TestReadRotationSurvivesAlternatingLoss: with replication 2 and the
+// surviving copy alternating between the two replicas block by block,
+// every rotation position must fail over to whichever replica still
+// holds the block.
+func TestReadRotationSurvivesAlternatingLoss(t *testing.T) {
+	const block = int64(4 * util.KB)
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 4,
+		MetaProviders: 2,
+		BlockSize:     block,
+		Replication:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	c := cl.NewClient("")
+	m, err := c.Create(ctx, block, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xCD}, int(8*block))
+	v, err := c.Append(ctx, m.ID, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extents, err := mdtree.Resolve(ctx, cl.MetaStore, m, v, int64(len(payload)),
+		blob.Range{Off: 0, Len: int64(len(payload))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range extents {
+		st := cl.ProviderService(e.Block.Providers[i%2]).Store()
+		if err := st.Delete(e.Block.Key.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Repeat the read so the rotation counter cycles through both
+	// starting positions for every block.
+	for i := 0; i < 4; i++ {
+		got, err := c.Read(ctx, m.ID, v, 0, int64(len(payload)))
+		if err != nil {
+			t.Fatalf("read %d after alternating loss: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("read %d returned wrong bytes", i)
+		}
+	}
+}
+
 // TestReadFailsWhenAllReplicasLost: with every copy gone, the read
 // reports the failure instead of fabricating zeros.
 func TestReadFailsWhenAllReplicasLost(t *testing.T) {

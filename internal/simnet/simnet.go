@@ -64,6 +64,8 @@ type Net struct {
 
 	// Stats
 	BytesMoved float64
+	egress     []float64 // per-node bytes sent over the uplink
+	ingress    []float64 // per-node bytes received over the downlink
 }
 
 // New builds a fabric in env.
@@ -71,7 +73,25 @@ func New(env *sim.Env, cfg Config) *Net {
 	if cfg.Nodes <= 0 {
 		panic("simnet: need at least one node")
 	}
-	return &Net{env: env, cfg: cfg, flows: make(map[*flow]struct{})}
+	return &Net{
+		env: env, cfg: cfg, flows: make(map[*flow]struct{}),
+		egress:  make([]float64, cfg.Nodes),
+		ingress: make([]float64, cfg.Nodes),
+	}
+}
+
+// EgressOf returns the bytes node id has sent over its uplink so far —
+// the per-node accounting behind the data plane's billing claims
+// (local disk-only flows do not count).
+func (n *Net) EgressOf(id NodeID) float64 {
+	n.checkNode(id)
+	return n.egress[id]
+}
+
+// IngressOf returns the bytes node id has received over its downlink.
+func (n *Net) IngressOf(id NodeID) float64 {
+	n.checkNode(id)
+	return n.ingress[id]
 }
 
 // Env returns the owning simulation.
@@ -163,6 +183,10 @@ func (n *Net) advance() {
 		}
 		f.remaining -= moved
 		n.BytesMoved += moved
+		if !f.local {
+			n.egress[f.src] += moved
+			n.ingress[f.dst] += moved
+		}
 	}
 }
 

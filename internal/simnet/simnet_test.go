@@ -209,3 +209,28 @@ func TestManyConcurrentFlowsAggregate(t *testing.T) {
 		t.Errorf("end = %.6fs, want 1.0 (no false contention)", end.Seconds())
 	}
 }
+
+func TestPerNodeEgressIngressAccounting(t *testing.T) {
+	// A relay chain 0 -> 1 -> 2: node 1 is charged both directions,
+	// the endpoints one each, local flows neither.
+	env := sim.NewEnv()
+	net := New(env, Config{Nodes: 3, UpBps: 100e6, DownBps: 100e6, DiskBps: 100e6, Latency: 0})
+	env.Go(func(p *sim.Proc) {
+		net.Transfer(p, 0, 1, 60e6, 0)
+		net.Transfer(p, 1, 2, 60e6, 0)
+		net.TransferDisk(p, 2, 2, 40e6, 0, 2) // local: disk only, no link bytes
+	})
+	env.Run()
+	cases := []struct {
+		node         NodeID
+		egress, ingr float64
+	}{{0, 60e6, 0}, {1, 60e6, 60e6}, {2, 0, 60e6}}
+	for _, c := range cases {
+		if got := net.EgressOf(c.node); math.Abs(got-c.egress) > 1 {
+			t.Errorf("node %d egress = %.0f, want %.0f", c.node, got, c.egress)
+		}
+		if got := net.IngressOf(c.node); math.Abs(got-c.ingr) > 1 {
+			t.Errorf("node %d ingress = %.0f, want %.0f", c.node, got, c.ingr)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package simstore
+
+import (
+	"math"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/placement"
+	"blobseer/internal/sim"
+	"blobseer/internal/simnet"
+	"blobseer/internal/util"
+)
+
+// writeBlocks runs one multi-block append from node 10 and returns the
+// virtual completion time.
+func writeBlocks(t *testing.T, b *BSFS, id blob.ID, nBlocks int) sim.Time {
+	t.Helper()
+	var end sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		if _, err := b.Write(p, 10, id, blob.KindAppend, 0, int64(nBlocks)*testBlock, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		end = p.Now()
+	})
+	b.Env.Run()
+	return end
+}
+
+// TestChainedWriteClientEgress is the acceptance byte-count pin: on the
+// simnet billing model, a chained write of N blocks at replication R
+// charges the client exactly N blocks of uplink egress — not R×N —
+// with the remaining (R-1)×N block copies billed hop by hop to the
+// forwarding providers.
+func TestChainedWriteClientEgress(t *testing.T) {
+	const (
+		nBlocks = 8
+		repl    = 3
+		client  = 10
+	)
+	payload := float64(nBlocks) * float64(testBlock)
+
+	b := smallBSFS(t)
+	m := b.CreateBlob(testBlock, repl)
+	writeBlocks(t, b, m.ID, nBlocks)
+
+	egress := b.Net.EgressOf(client)
+	if math.Abs(egress-payload) > 1 {
+		t.Errorf("chained client egress = %.0f bytes, want exactly %.0f (N blocks, not R×N)", egress, payload)
+	}
+	// The other R-1 copies travel provider-to-provider.
+	var provEgress float64
+	for _, n := range b.provNode {
+		provEgress += b.Net.EgressOf(n)
+	}
+	if want := float64(repl-1) * payload; math.Abs(provEgress-want) > 1 {
+		t.Errorf("provider forwarding egress = %.0f bytes, want %.0f ((R-1)×N blocks)", provEgress, want)
+	}
+
+	// The legacy plane charges the client the full R×N.
+	fb := smallBSFS(t)
+	fb.FanoutWrites = true
+	fm := fb.CreateBlob(testBlock, repl)
+	writeBlocks(t, fb, fm.ID, nBlocks)
+	if egress := fb.Net.EgressOf(client); math.Abs(egress-float64(repl)*payload) > 1 {
+		t.Errorf("fanout client egress = %.0f bytes, want %.0f (R×N blocks)", egress, float64(repl)*payload)
+	}
+}
+
+// TestChainedWriteBeatsFanoutAtR3 pins the structural throughput win:
+// at replication 3 the chained plane's write completes well ahead of
+// fan-out, whose client uplink carries three copies of everything.
+func TestChainedWriteBeatsFanoutAtR3(t *testing.T) {
+	const nBlocks = 8
+
+	chained := smallBSFS(t)
+	cm := chained.CreateBlob(testBlock, 3)
+	chainedEnd := writeBlocks(t, chained, cm.ID, nBlocks)
+
+	fanout := smallBSFS(t)
+	fanout.FanoutWrites = true
+	fm := fanout.CreateBlob(testBlock, 3)
+	fanoutEnd := writeBlocks(t, fanout, fm.ID, nBlocks)
+
+	if float64(chainedEnd) > 0.6*float64(fanoutEnd) {
+		t.Errorf("chained write (%.2fs) should finish in <60%% of fanout (%.2fs) at R=3",
+			chainedEnd.Seconds(), fanoutEnd.Seconds())
+	}
+}
+
+// TestReadRotationSpreadsReplicaLoad: with the block replicated on two
+// providers, repeated reads must be served by both, not serialize on
+// the first recorded replica.
+func TestReadRotationSpreadsReplicaLoad(t *testing.T) {
+	b := smallBSFS(t)
+	m := b.CreateBlob(testBlock, 2)
+	b.Env.Go(func(p *sim.Proc) {
+		if _, err := b.Write(p, 10, m.ID, blob.KindAppend, 0, testBlock, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := b.Read(p, 11, m.ID, 0, testBlock); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	b.Env.Run()
+
+	// Find the two provider nodes holding the replicas and check both
+	// served read traffic (write-hop egress is at most one block).
+	served := 0
+	for _, n := range b.provNode {
+		if b.Net.EgressOf(n) > 1.5*float64(testBlock) {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Errorf("4 reads of a 2-replica block were served by %d providers, want both", served)
+	}
+}
+
+// TestChainedSingleReplicaMatchesFanout: at R=1 the planes are the same
+// single flow; their virtual completion times must agree.
+func TestChainedSingleReplicaMatchesFanout(t *testing.T) {
+	a := smallBSFS(t)
+	am := a.CreateBlob(testBlock, 1)
+	aEnd := writeBlocks(t, a, am.ID, 4)
+
+	f := smallBSFS(t)
+	f.FanoutWrites = true
+	fm := f.CreateBlob(testBlock, 1)
+	fEnd := writeBlocks(t, f, fm.ID, 4)
+
+	if aEnd != fEnd {
+		t.Errorf("R=1 chained (%.3fs) and fanout (%.3fs) should cost the same", aEnd.Seconds(), fEnd.Seconds())
+	}
+}
+
+// --- acceptance benchmarks: client egress per write on the simnet
+// billing model, chained vs fan-out ---
+
+func benchmarkWritePlane(b *testing.B, fanout bool) {
+	const (
+		nBlocks = 8
+		repl    = 3
+		client  = 10
+	)
+	var egressPerWrite, mbps float64
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		net := simnet.New(env, simnet.Grid5000(12))
+		bs := NewBSFS(net, DefaultTuning(), placement.NewRoundRobin(), 0,
+			[]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5, 6, 7, 8, 9})
+		bs.FanoutWrites = fanout
+		m := bs.CreateBlob(testBlock, repl)
+		var end sim.Time
+		bs.Env.Go(func(p *sim.Proc) {
+			if _, err := bs.Write(p, client, m.ID, blob.KindAppend, 0, nBlocks*testBlock, 1); err != nil {
+				b.Error(err)
+				return
+			}
+			end = p.Now()
+		})
+		bs.Env.Run()
+		egressPerWrite = net.EgressOf(client)
+		mbps = float64(nBlocks*testBlock) / float64(util.MB) / end.Seconds()
+	}
+	b.ReportMetric(egressPerWrite/float64(util.MB), "client_egress_MB/write")
+	b.ReportMetric(mbps, "sim_MB/s")
+}
+
+func BenchmarkWriteFanout(b *testing.B)  { benchmarkWritePlane(b, true) }
+func BenchmarkWriteChained(b *testing.B) { benchmarkWritePlane(b, false) }

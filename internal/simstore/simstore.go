@@ -106,6 +106,13 @@ type BSFS struct {
 	Net *simnet.Net
 	Tun Tuning
 
+	// FanoutWrites selects the legacy data plane: the client pushes
+	// every replica itself (R×B of client egress per block). The
+	// default is the chained plane — one client flow to the chain head
+	// plus one provider-to-provider flow per further hop — matching the
+	// real client's core.DataPlaneChained.
+	FanoutWrites bool
+
 	VM    *vmanager.State
 	PM    *pmanager.State
 	Store *mdtree.MemStore
@@ -117,6 +124,7 @@ type BSFS struct {
 	ring      *dht.Ring
 	vmRes     *sim.Resource
 	metaRes   map[string]*sim.Resource
+	readRR    int // rotates the replica serving each extent fetch
 }
 
 // NewBSFS deploys a simulated BlobSeer instance: the version manager
@@ -212,12 +220,38 @@ func (b *BSFS) Write(p *sim.Proc, client simnet.NodeID, id blob.ID, kind blob.Wr
 				blockLen = rem
 			}
 		}
-		for _, addr := range targets[i] {
-			// The provider's storage medium is in the path whether the
-			// block travels the network or stays local.
-			dst := b.provNode[addr]
-			b.Net.TransferDisk(cp, client, dst, blockLen, b.writeCap(), dst)
+		if b.FanoutWrites {
+			for _, addr := range targets[i] {
+				// The provider's storage medium is in the path whether
+				// the block travels the network or stays local.
+				dst := b.provNode[addr]
+				b.Net.TransferDisk(cp, client, dst, blockLen, b.writeCap(), dst)
+			}
+			return
 		}
+		// Chain replication: the client ships the block once to the
+		// chain head; every hop streams frames to the next replica
+		// while persisting locally, so all hops are concurrently
+		// active flows and the block completes when the slowest hop
+		// (the one its tail ack waits on) finishes. The client is
+		// charged B of egress; each further hop bills the forwarding
+		// provider's uplink.
+		env := cp.Env()
+		done := env.NewEvent()
+		live := len(targets[i])
+		src := client
+		for _, addr := range targets[i] {
+			hopSrc, hopDst := src, b.provNode[addr]
+			env.Go(func(hp *sim.Proc) {
+				b.Net.TransferDisk(hp, hopSrc, hopDst, blockLen, b.writeCap(), hopDst)
+				live--
+				if live == 0 {
+					done.Fire()
+				}
+			})
+			src = hopDst
+		}
+		done.Wait(cp)
 	})
 
 	// Phase 2a: version assignment — the only serialized step.
@@ -243,7 +277,7 @@ func (b *BSFS) Write(p *sim.Proc, client simnet.NodeID, id blob.ID, kind blob.Wr
 		}
 		refs[i] = mdtree.BlockRef{
 			Key:       blob.BlockKey{Blob: id, Nonce: nonce, Seq: uint32(i)},
-			Providers: []string{targets[i][0]},
+			Providers: targets[i],
 			Len:       ln,
 		}
 	}
@@ -326,14 +360,29 @@ func (b *BSFS) Read(p *sim.Proc, client simnet.NodeID, id blob.ID, off, size int
 	for _, level := range cs.levels {
 		b.chargeMetaOps(p, client, level)
 	}
-	// Block fetches.
+	// Block fetches. A replica co-located with the reading client is
+	// served locally (Map/Reduce schedules tasks for exactly that);
+	// otherwise rotate across the replica set so concurrent readers
+	// spread load instead of piling onto the first replica (the
+	// cooperative kernel makes the shared rotation cursor safe).
 	total := int64(0)
 	parallel(p, len(extents), b.Tun.PipelineDepth, func(cp *sim.Proc, i int) {
 		e := extents[i]
 		if !e.HasData || len(e.Block.Providers) == 0 {
 			return
 		}
-		src := b.provNode[e.Block.Providers[0]]
+		pick := -1
+		for j, addr := range e.Block.Providers {
+			if b.provNode[addr] == client {
+				pick = j
+				break
+			}
+		}
+		if pick < 0 {
+			pick = b.readRR % len(e.Block.Providers)
+			b.readRR++
+		}
+		src := b.provNode[e.Block.Providers[pick]]
 		b.Net.TransferDisk(cp, src, client, e.Len, b.readCap(), src)
 	})
 	for _, e := range extents {

@@ -104,6 +104,7 @@ func TestBSFSReadBackBytes(t *testing.T) {
 
 func TestBSFSReplicationWritesAllCopies(t *testing.T) {
 	b := smallBSFS(t)
+	b.FanoutWrites = true // the legacy plane: client pushes every copy
 	m := b.CreateBlob(testBlock, 3)
 	var end sim.Time
 	b.Env.Go(func(p *sim.Proc) {

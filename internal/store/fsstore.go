@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FSStore is a file-backed Store: each key becomes one file whose name
@@ -19,14 +20,24 @@ type FSStore struct {
 	dir  string
 	sync bool // fsync after writes
 
-	mu sync.RWMutex // guards cross-file operations (DeletePrefix vs Put races)
+	mu  sync.RWMutex  // guards cross-file operations (DeletePrefix vs Put races)
+	seq atomic.Uint64 // distinguishes concurrent streaming writers' temp files
 }
 
 // NewFSStore opens (creating if needed) a store rooted at dir. If
-// syncWrites is set, every Put is fsynced before returning.
+// syncWrites is set, every Put is fsynced before returning. Temp files
+// orphaned by a crash mid-write are swept on open (no writer can be
+// live at that point).
 func NewFSStore(dir string, syncWrites bool) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fsstore: %w", err)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	return &FSStore{dir: dir, sync: syncWrites}, nil
 }
@@ -65,6 +76,80 @@ func (s *FSStore) Put(key string, val []byte) error {
 		return fmt.Errorf("fsstore: commit %s: %w", key, err)
 	}
 	return nil
+}
+
+// PutWriter implements Store. Frames accumulate in a uniquely named
+// temp file (the ".tmp" suffix keeps it invisible to DeletePrefix and
+// Stats); Commit renames it into place atomically.
+func (s *FSStore) PutWriter(key string) (BlockWriter, error) {
+	tmp := fmt.Sprintf("%s.w%d.tmp", s.path(key), s.seq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fsstore: stream %s: %w", key, err)
+	}
+	return &fsWriter{s: s, key: key, tmp: tmp, f: f}, nil
+}
+
+type fsWriter struct {
+	s    *FSStore
+	key  string
+	tmp  string
+	mu   sync.Mutex
+	f    *os.File
+	done bool
+}
+
+func (w *fsWriter) WriteAt(p []byte, off int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return errors.New("fsstore: write on finished writer")
+	}
+	if off < 0 {
+		return errors.New("fsstore: negative write offset")
+	}
+	if _, err := w.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("fsstore: stream %s: %w", w.key, err)
+	}
+	return nil
+}
+
+func (w *fsWriter) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return errors.New("fsstore: commit on finished writer")
+	}
+	w.done = true
+	if w.s.sync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			os.Remove(w.tmp)
+			return fmt.Errorf("fsstore: sync %s: %w", w.key, err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("fsstore: close %s: %w", w.key, err)
+	}
+	w.s.mu.RLock()
+	defer w.s.mu.RUnlock()
+	if err := os.Rename(w.tmp, w.s.path(w.key)); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("fsstore: commit %s: %w", w.key, err)
+	}
+	return nil
+}
+
+func (w *fsWriter) Abort() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.f.Close()
+	return os.Remove(w.tmp)
 }
 
 // Get implements Store.

@@ -15,12 +15,31 @@ type Stats struct {
 	Bytes int64
 }
 
+// BlockWriter assembles one value from frames that may arrive in any
+// order (the streaming data plane delivers a block's chunks as
+// independent, pipelined RPCs). The value stays invisible to readers
+// until Commit; Abort discards everything written so far. A writer is
+// safe for concurrent use with other store operations, but individual
+// WriteAt calls are serialized by the caller per writer.
+type BlockWriter interface {
+	// WriteAt stores p at byte offset off within the value.
+	WriteAt(p []byte, off int64) error
+	// Commit publishes the assembled value under the writer's key,
+	// replacing any previous value. The writer is spent afterwards.
+	Commit() error
+	// Abort discards the partial value. Safe after Commit (no-op).
+	Abort() error
+}
+
 // Store is a flat key-value blob store with sub-range reads. Keys are
 // opaque strings (block keys and metadata node identifiers serialize
 // into them). Implementations are safe for concurrent use.
 type Store interface {
 	// Put stores val under key, replacing any previous value.
 	Put(key string, val []byte) error
+	// PutWriter opens a streaming writer for key: frames land via
+	// WriteAt and the value becomes visible atomically on Commit.
+	PutWriter(key string) (BlockWriter, error)
 	// Get returns the full value (a copy) or ErrNotFound.
 	Get(key string) ([]byte, error)
 	// GetRange returns length bytes starting at off within the value.

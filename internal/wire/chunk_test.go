@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	chunks := []Chunk{
+		{Off: 0, Total: 10, Data: []byte("01234")},
+		{Off: 5, Total: 10, Data: []byte("56789")},
+		{Off: 0, Total: 1, Data: []byte("x")},
+	}
+	wantLast := []bool{false, true, true}
+	b := NewBuffer(64)
+	for _, c := range chunks {
+		b.Chunk(c)
+	}
+	r := NewReader(b.Bytes())
+	for i, want := range chunks {
+		got := r.Chunk()
+		if got.Off != want.Off || got.Total != want.Total ||
+			!bytes.Equal(got.Data, want.Data) {
+			t.Errorf("chunk %d = %+v, want %+v", i, got, want)
+		}
+		if got.Last() != wantLast[i] {
+			t.Errorf("chunk %d Last() = %v, want %v", i, got.Last(), wantLast[i])
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestChunkTruncated(t *testing.T) {
+	b := NewBuffer(32)
+	b.Chunk(Chunk{Off: 0, Total: 4, Data: []byte("full")})
+	enc := b.Bytes()
+	for cut := 1; cut < len(enc); cut++ {
+		r := NewReader(enc[:cut])
+		r.Chunk()
+		if r.Err() == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}

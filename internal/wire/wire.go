@@ -106,6 +106,30 @@ func (e *Buffer) KVSlice(kvs []KV) {
 	}
 }
 
+// Chunk is one frame of a chunked streaming transfer: a piece of a
+// larger value, addressed by its byte offset within that value. The
+// data plane streams blocks to providers as a sequence of chunks so a
+// block never has to travel as one monolithic RPC payload — each hop of
+// a replication chain can persist a chunk and forward it downstream
+// while later chunks are still in flight. Chunks are self-describing
+// (every frame carries the total length), so they may be applied in any
+// arrival order; a transfer is complete when Total bytes have landed.
+type Chunk struct {
+	Off   int64  // byte offset of this frame within the value
+	Total int64  // total length of the value being streamed
+	Data  []byte // frame payload
+}
+
+// Last reports whether the chunk covers the value's final byte.
+func (c Chunk) Last() bool { return c.Off+int64(len(c.Data)) == c.Total }
+
+// Chunk appends one streaming frame.
+func (e *Buffer) Chunk(c Chunk) {
+	e.I64(c.Off)
+	e.I64(c.Total)
+	e.Bytes32(c.Data)
+}
+
 // Reader decodes a message body. Decoding errors are sticky: once a
 // read fails, all subsequent reads return zero values and Err() reports
 // the first failure. This keeps decoder call sites linear and readable.
@@ -244,6 +268,16 @@ func (r *Reader) KVSlice() []KV {
 		}
 	}
 	return kvs
+}
+
+// Chunk reads one streaming frame. The data aliases the underlying
+// body; callers that retain it must copy.
+func (r *Reader) Chunk() Chunk {
+	return Chunk{
+		Off:   r.I64(),
+		Total: r.I64(),
+		Data:  r.Bytes32(),
+	}
 }
 
 // WriteFrame writes a length-prefixed frame to w.

@@ -122,6 +122,18 @@ func BenchmarkAblationReplication(b *testing.B) {
 	report(b, out)
 }
 
+// BenchmarkAblationStreaming measures the client streaming pipeline on
+// the simulated paper topology: a 16 x 64 MB stream written and read
+// with the readahead/write-behind window at 0 (the synchronous client)
+// and open.
+func BenchmarkAblationStreaming(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationStreaming(16, []int{0, 2, 4})
+	}
+	report(b, out)
+}
+
 // BenchmarkAblationPrefetch measures the real BSFS client's prefetch /
 // write-behind cache (Section IV-B): a Hadoop-style sequence of 4 KB
 // reads over a striped file, with the cache enabled vs disabled.
@@ -157,14 +169,16 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 	for _, mode := range []struct {
 		name         string
 		disableCache bool
-	}{{"prefetch", false}, {"nocache", true}} {
+		readahead    int
+	}{{"pipelined", false, 3}, {"prefetch", false, 0}, {"nocache", true, 0}} {
 		b.Run(mode.name, func(b *testing.B) {
 			fsys, err := bsfs.New(bsfs.Config{
-				Core:         cl.NewClient(""),
-				NS:           namespace.NewClient(cl.Pool, cl.NSAddr),
-				BlockSize:    blockSize,
-				Replication:  1,
-				DisableCache: mode.disableCache,
+				Core:            cl.NewClient(""),
+				NS:              namespace.NewClient(cl.Pool, cl.NSAddr),
+				BlockSize:       blockSize,
+				Replication:     1,
+				ReadaheadBlocks: mode.readahead,
+				DisableCache:    mode.disableCache,
 			})
 			if err != nil {
 				b.Fatal(err)

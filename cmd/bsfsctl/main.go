@@ -81,6 +81,9 @@ func main() {
 		host    = flag.String("host", "", "client host label (affinity experiments)")
 		plane   = flag.String("data-plane", "chained", "write replication transport: chained | fanout")
 		frame   = flag.Int("frame-size", 0, "chained-plane streaming frame bytes (0 = default)")
+		rahead  = flag.Int("readahead", bsfs.DefaultReadaheadBlocks, "reader async prefetch window in blocks (0 = synchronous)")
+		wbehind = flag.Int("write-behind", bsfs.DefaultWriteBehindDepth, "writer background block commits in flight (0 = synchronous)")
+		noCache = flag.Bool("no-cache", false, "disable the BSFS block cache and streaming pipeline (ablation)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -113,9 +116,12 @@ func main() {
 			DataPlane:     dataPlane,
 			FrameSize:     *frame,
 		}),
-		NS:          namespace.NewClient(pool, *nsAddr),
-		BlockSize:   *blockSz,
-		Replication: *repl,
+		NS:               namespace.NewClient(pool, *nsAddr),
+		BlockSize:        *blockSz,
+		Replication:      *repl,
+		ReadaheadBlocks:  *rahead,
+		WriteBehindDepth: *wbehind,
+		DisableCache:     *noCache,
 	})
 	if err != nil {
 		fatal(err)

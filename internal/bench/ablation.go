@@ -150,6 +150,45 @@ func AblationBlockSize(fileGB float64, blockMBs []int) []Series {
 	return out
 }
 
+// AblationStreaming quantifies the BSFS client's streaming pipeline
+// (Section IV-B) on the paper topology: one dedicated client streams an
+// nBlocks x 64 MB file through the write-behind and readahead windows
+// with the depth varied. Depth 0 is the fully synchronous client
+// (DisableCache): exactly one block in flight, every block boundary a
+// stall on the version manager and metadata round-trips; deeper windows
+// overlap those latencies — and fill the client link past the
+// single-stream protocol efficiency — across consecutive blocks.
+func AblationStreaming(nBlocks int, depths []int) []Series {
+	tun := simstore.DefaultTuning()
+	write := Series{Name: "stream-write", XLabel: "window (blocks)", YLabel: "MB/s"}
+	read := Series{Name: "stream-read", XLabel: "window (blocks)", YLabel: "MB/s"}
+	for _, d := range depths {
+		b := newBSFS(tun)
+		m := b.CreateBlob(BlockSize, 1)
+		var wEnd sim.Time
+		b.Env.Go(func(p *sim.Proc) {
+			if err := b.StreamWrite(p, clientNode, m.ID, nBlocks, d, 0); err != nil {
+				panic(err)
+			}
+			wEnd = p.Now()
+		})
+		b.Env.Run()
+		write.Points = append(write.Points, Point{X: float64(d), Y: mbps(int64(nBlocks)*BlockSize, wEnd)})
+
+		rStart := b.Env.Now()
+		var rEnd sim.Time
+		b.Env.Go(func(p *sim.Proc) {
+			if err := b.StreamRead(p, clientNode, m.ID, nBlocks, d); err != nil {
+				panic(err)
+			}
+			rEnd = p.Now()
+		})
+		b.Env.Run()
+		read.Points = append(read.Points, Point{X: float64(d), Y: mbps(int64(nBlocks)*BlockSize, rEnd-rStart)})
+	}
+	return []Series{write, read}
+}
+
 // AblationReplication re-runs the single-writer workload with the data
 // replication level varied (the fault-tolerance mechanism of Section
 // VI-B: each block is written to `r` providers), once per data plane.

@@ -38,6 +38,11 @@ type Config struct {
 	UseTCP          bool           // listen on loopback TCP instead of inproc
 	DataPlane       core.DataPlane // write transport (chained by default)
 	FrameSize       int            // chained-plane frame size (0 = provider default)
+	// BSFS streaming-pipeline tunables (Section IV-B): 0 picks the
+	// bsfs defaults, negative disables (fully synchronous block I/O).
+	ReadaheadBlocks  int  // reader async prefetch window, in blocks
+	WriteBehindDepth int  // writer background commits in flight
+	DisableCache     bool // ablation: no block cache, no pipeline
 }
 
 func (c *Config) fill() {
@@ -58,6 +63,12 @@ func (c *Config) fill() {
 	}
 	if c.Strategy == nil {
 		c.Strategy = placement.NewRoundRobin()
+	}
+	if c.ReadaheadBlocks == 0 {
+		c.ReadaheadBlocks = bsfs.DefaultReadaheadBlocks
+	}
+	if c.WriteBehindDepth == 0 {
+		c.WriteBehindDepth = bsfs.DefaultWriteBehindDepth
 	}
 }
 
@@ -210,10 +221,13 @@ func (c *BlobSeer) NewClient(host string) *core.Client {
 // NewBSFS returns a BSFS file-system client for this deployment.
 func (c *BlobSeer) NewBSFS(host string) (*bsfs.FS, error) {
 	return bsfs.New(bsfs.Config{
-		Core:        c.NewClient(host),
-		NS:          namespace.NewClient(c.Pool, c.NSAddr),
-		BlockSize:   c.Cfg.BlockSize,
-		Replication: c.Cfg.Replication,
+		Core:             c.NewClient(host),
+		NS:               namespace.NewClient(c.Pool, c.NSAddr),
+		BlockSize:        c.Cfg.BlockSize,
+		Replication:      c.Cfg.Replication,
+		ReadaheadBlocks:  c.Cfg.ReadaheadBlocks,
+		WriteBehindDepth: c.Cfg.WriteBehindDepth,
+		DisableCache:     c.Cfg.DisableCache,
 	})
 }
 

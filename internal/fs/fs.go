@@ -14,14 +14,30 @@ import (
 
 // Errors shared by all implementations.
 var (
-	ErrNotFound     = errors.New("fs: no such file or directory")
-	ErrExists       = errors.New("fs: file already exists")
-	ErrIsDir        = errors.New("fs: is a directory")
-	ErrNotDir       = errors.New("fs: not a directory")
-	ErrNotEmpty     = errors.New("fs: directory not empty")
-	ErrNoAppend     = errors.New("fs: append not supported by this file system")
-	ErrWriterClosed = errors.New("fs: writer is closed")
+	ErrNotFound = errors.New("fs: no such file or directory")
+	ErrExists   = errors.New("fs: file already exists")
+	ErrIsDir    = errors.New("fs: is a directory")
+	ErrNotDir   = errors.New("fs: not a directory")
+	ErrNotEmpty = errors.New("fs: directory not empty")
+	ErrNoAppend = errors.New("fs: append not supported by this file system")
+
+	// ErrClosed is the shared sentinel for any operation on a closed
+	// handle; ErrReaderClosed and ErrWriterClosed both match it under
+	// errors.Is, so callers that don't care which side was closed can
+	// test the one sentinel.
+	ErrClosed = errors.New("fs: handle is closed")
+	// ErrReaderClosed is returned by Read/Seek on a closed reader.
+	ErrReaderClosed error = &closedError{"reader"}
+	// ErrWriterClosed is returned by Write on a closed writer.
+	ErrWriterClosed error = &closedError{"writer"}
 )
+
+// closedError gives reader/writer-specific messages while remaining
+// errors.Is-compatible with the shared ErrClosed sentinel.
+type closedError struct{ what string }
+
+func (e *closedError) Error() string        { return "fs: " + e.what + " is closed" }
+func (e *closedError) Is(target error) bool { return target == ErrClosed }
 
 // FileStatus describes one namespace entry.
 type FileStatus struct {

@@ -177,38 +177,52 @@ func (w *writer) Write(p []byte) (int, error) {
 	return total, nil
 }
 
+// lockedFlush commits the buffered block. On error the buffer is
+// restored, so a transient failure loses nothing and Close may retry.
 func (w *writer) lockedFlush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
 	data := w.buf
 	w.buf = nil
-	bid, targets, err := w.fs.nn.AddBlock(w.ctx, w.file, w.lease, w.fs.cfg.Host, w.fs.cfg.Replication)
-	if err != nil {
-		return err
-	}
-	// Replication pipeline: HDFS forwards through the datanode chain;
-	// we model it as sequential stores in pipeline order.
-	for _, addr := range targets {
-		if err := w.fs.dn.Put(w.ctx, addr, datanodeKey(bid), data); err != nil {
-			return fmt.Errorf("hdfs: pipeline to %s: %w", addr, err)
+	err := func() error {
+		bid, targets, err := w.fs.nn.AddBlock(w.ctx, w.file, w.lease, w.fs.cfg.Host, w.fs.cfg.Replication)
+		if err != nil {
+			return err
 		}
+		// Replication pipeline: HDFS forwards through the datanode chain;
+		// we model it as sequential stores in pipeline order.
+		for _, addr := range targets {
+			if err := w.fs.dn.Put(w.ctx, addr, datanodeKey(bid), data); err != nil {
+				return fmt.Errorf("hdfs: pipeline to %s: %w", addr, err)
+			}
+		}
+		return w.fs.nn.CompleteBlock(w.ctx, w.file, w.lease, bid, int64(len(data)))
+	}()
+	if err != nil {
+		w.buf = data
 	}
-	return w.fs.nn.CompleteBlock(w.ctx, w.file, w.lease, bid, int64(len(data)))
+	return err
 }
 
 // Close flushes the final block and seals the file (immutable).
+// Close flushes the buffered tail and seals the file. It only latches
+// the writer closed once both succeed: a failed Close keeps the state
+// and may be retried, and never reports a lost tail as durable.
 func (w *writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil
 	}
-	w.closed = true
 	if err := w.lockedFlush(); err != nil {
 		return err
 	}
-	return w.fs.nn.CompleteFile(w.ctx, w.file, w.lease)
+	if err := w.fs.nn.CompleteFile(w.ctx, w.file, w.lease); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
 }
 
 // reader implements the HDFS read path: the block list is fetched once
@@ -232,7 +246,7 @@ func (r *reader) Read(p []byte) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return 0, fs.ErrWriterClosed
+		return 0, fs.ErrReaderClosed
 	}
 	if r.pos >= r.size {
 		return 0, io.EOF
@@ -295,6 +309,9 @@ func (r *reader) lockedFetch(off int64) ([]byte, error) {
 func (r *reader) Seek(offset int64, whence int) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fs.ErrReaderClosed
+	}
 	var abs int64
 	switch whence {
 	case io.SeekStart:

@@ -269,3 +269,46 @@ func TestEmptyFile(t *testing.T) {
 		t.Error("empty file read returned data")
 	}
 }
+
+// TestWriterCloseDoesNotLatchSuccessOnError mirrors the bsfs writer
+// regression: Close used to set closed=true before the final flush, so
+// a failed flush made a repeat Close return nil — reporting a lost
+// tail (and an unsealed file) as durable.
+func TestWriterCloseDoesNotLatchSuccessOnError(t *testing.T) {
+	f, _ := startHDFS(t, cluster.HDFSConfig{Datanodes: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	w, err := f.Create(ctx, "/lost-tail", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(pattern('T', B/2)); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the final flush will fail
+	if err := w.Close(); err == nil {
+		t.Fatal("Close with a failing flush returned nil")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("repeat Close after a failed flush returned nil (tail silently lost)")
+	}
+}
+
+// TestReaderClosedSemantics: closed hdfs readers must return the
+// reader sentinel from both Read and Seek, matching fs.ErrClosed.
+func TestReaderClosedSemantics(t *testing.T) {
+	f, _ := startHDFS(t, cluster.HDFSConfig{Datanodes: 2})
+	writeFile(t, f, "/closed", pattern('c', B))
+	r, err := f.Open(context.Background(), "/closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(make([]byte, 8)); !errors.Is(err, fs.ErrReaderClosed) || !errors.Is(err, fs.ErrClosed) {
+		t.Errorf("Read after Close = %v, want ErrReaderClosed", err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); !errors.Is(err, fs.ErrReaderClosed) {
+		t.Errorf("Seek after Close = %v, want ErrReaderClosed", err)
+	}
+}

@@ -42,6 +42,16 @@ type Tuning struct {
 	MetaFanout     int      // concurrent per-provider batch RPCs per client
 	PipelineDepth  int      // concurrent block flows per BSFS client
 
+	// BSFS client streaming-pipeline windows (Section IV-B): how many
+	// block fetches a sequential reader keeps in flight ahead of the
+	// consumer, and how many full-block commits a writer keeps in
+	// flight behind the producer. Zero models the synchronous client
+	// the paper measured — the figures are calibrated against it — so
+	// DefaultTuning leaves both off; the streaming ablation and the
+	// Stream benchmarks turn them on to quantify the overlap win.
+	ReadaheadBlocks  int
+	WriteBehindDepth int
+
 	// HDFSLocalWriteBps caps a datanode's local write path (loopback
 	// socket + checksum verification + journal): slower than one remote
 	// BlobSeer stream, which is why the co-deployed RandomTextWriter

@@ -1,0 +1,65 @@
+package simstore
+
+import (
+	"blobseer/internal/blob"
+	"blobseer/internal/sim"
+	"blobseer/internal/simnet"
+)
+
+// Streaming models of the BSFS client pipeline (Section IV-B). The
+// per-op Write/Read models bill a single block commit or fetch; these
+// helpers string nBlocks of them into one sequential stream the way
+// the real bsfs reader/writer does, with a bounded window of ops in
+// flight. depth/readahead 0 (or 1 for writes) is the fully synchronous
+// client: exactly one block in flight, every block boundary a stall.
+
+// StreamWrite models a create-mode BSFS writer streaming nBlocks of
+// the blob's block size from node client: every full block is a
+// complete two-phase offset write, and up to depth commits run
+// concurrently while the stream keeps producing (write-behind). Block
+// offsets are fixed at enqueue time, so commit completion order is
+// irrelevant — the write/write concurrency BlobSeer is built for.
+func (b *BSFS) StreamWrite(p *sim.Proc, client simnet.NodeID, id blob.ID, nBlocks, depth int, nonceBase uint64) error {
+	m, err := b.VM.GetMeta(id)
+	if err != nil {
+		return err
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	var firstErr error
+	parallel(p, nBlocks, depth, func(cp *sim.Proc, i int) {
+		if firstErr != nil {
+			return
+		}
+		off := int64(i) * m.BlockSize
+		if _, err := b.Write(cp, client, id, blob.KindWrite, off, m.BlockSize, nonceBase+uint64(i)+1); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// StreamRead models a BSFS reader streaming the first nBlocks of the
+// blob sequentially: block fetches are issued in order with up to
+// 1+readahead in flight, so consuming block i overlaps the transfer of
+// blocks i+1..i+readahead. readahead 0 is the synchronous path.
+func (b *BSFS) StreamRead(p *sim.Proc, client simnet.NodeID, id blob.ID, nBlocks, readahead int) error {
+	m, err := b.VM.GetMeta(id)
+	if err != nil {
+		return err
+	}
+	if readahead < 0 {
+		readahead = 0
+	}
+	var firstErr error
+	parallel(p, nBlocks, 1+readahead, func(cp *sim.Proc, i int) {
+		if firstErr != nil {
+			return
+		}
+		if _, err := b.Read(cp, client, id, int64(i)*m.BlockSize, m.BlockSize); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}

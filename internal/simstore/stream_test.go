@@ -1,0 +1,145 @@
+package simstore
+
+import (
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/placement"
+	"blobseer/internal/sim"
+	"blobseer/internal/simnet"
+	"blobseer/internal/util"
+)
+
+// streamFixture deploys a small BSFS with one single-replica blob.
+func streamFixture() (*BSFS, blob.Meta) {
+	env := sim.NewEnv()
+	net := simnet.New(env, simnet.Grid5000(12))
+	b := NewBSFS(net, DefaultTuning(), placement.NewRoundRobin(), 0,
+		[]simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5, 6, 7, 8, 9})
+	m := b.CreateBlob(testBlock, 1)
+	return b, m
+}
+
+// streamWriteTime streams nBlocks through StreamWrite at the given
+// depth on a fresh deployment and returns the virtual elapsed time.
+func streamWriteTime(t testing.TB, nBlocks, depth int) sim.Time {
+	t.Helper()
+	b, m := streamFixture()
+	var end sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		if err := b.StreamWrite(p, 10, m.ID, nBlocks, depth, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		end = p.Now()
+	})
+	b.Env.Run()
+	return end
+}
+
+// streamReadTime pre-writes nBlocks synchronously, then streams them
+// back through StreamRead at the given readahead, returning the
+// virtual time of the read phase alone.
+func streamReadTime(t testing.TB, nBlocks, readahead int) sim.Time {
+	t.Helper()
+	b, m := streamFixture()
+	b.Env.Go(func(p *sim.Proc) {
+		if err := b.StreamWrite(p, 10, m.ID, nBlocks, 1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	b.Env.Run()
+	start := b.Env.Now()
+	var end sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		if err := b.StreamRead(p, 11, m.ID, nBlocks, readahead); err != nil {
+			t.Error(err)
+			return
+		}
+		end = p.Now()
+	})
+	b.Env.Run()
+	return end - start
+}
+
+// TestStreamWritePipelinedBeatsSync pins the tentpole claim on the
+// simnet billing model: a write-behind window of 4 blocks finishes a
+// 16-block stream well ahead of the synchronous client.
+func TestStreamWritePipelinedBeatsSync(t *testing.T) {
+	syncT := streamWriteTime(t, 16, 1)
+	pipeT := streamWriteTime(t, 16, 4)
+	if float64(pipeT) > 0.8*float64(syncT) {
+		t.Errorf("pipelined write (%.2fs) should finish in <80%% of sync (%.2fs)",
+			pipeT.Seconds(), syncT.Seconds())
+	}
+}
+
+// TestStreamReadPipelinedBeatsSync: same for the readahead window.
+func TestStreamReadPipelinedBeatsSync(t *testing.T) {
+	syncT := streamReadTime(t, 16, 0)
+	pipeT := streamReadTime(t, 16, 3)
+	if float64(pipeT) > 0.8*float64(syncT) {
+		t.Errorf("pipelined read (%.2fs) should finish in <80%% of sync (%.2fs)",
+			pipeT.Seconds(), syncT.Seconds())
+	}
+}
+
+// TestStreamWriteDepthOneIsSequential pins the ablation contract: a
+// window of one block in flight costs exactly the same virtual time as
+// the plain sequential loop of per-block writes the figures run — the
+// pipelined client with the window closed IS the synchronous client.
+func TestStreamWriteDepthOneIsSequential(t *testing.T) {
+	streamed := streamWriteTime(t, 8, 1)
+
+	b, m := streamFixture()
+	var end sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if _, err := b.Write(p, 10, m.ID, blob.KindWrite, int64(i)*testBlock, testBlock, uint64(i)+1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		end = p.Now()
+	})
+	b.Env.Run()
+	if streamed != end {
+		t.Errorf("StreamWrite depth 1 (%.3fs) should match the sequential loop (%.3fs)",
+			streamed.Seconds(), end.Seconds())
+	}
+}
+
+// --- acceptance benchmarks: streaming throughput, synchronous vs
+// pipelined client (CI smoke runs these alongside the data-plane ones) ---
+
+func BenchmarkStreamWrite(b *testing.B) {
+	const nBlocks = 16
+	for _, c := range []struct {
+		name  string
+		depth int
+	}{{"sync", 1}, {"pipelined", 4}} {
+		b.Run(c.name, func(b *testing.B) {
+			var end sim.Time
+			for i := 0; i < b.N; i++ {
+				end = streamWriteTime(b, nBlocks, c.depth)
+			}
+			b.ReportMetric(float64(nBlocks*testBlock)/float64(util.MB)/end.Seconds(), "sim_MB/s")
+		})
+	}
+}
+
+func BenchmarkStreamRead(b *testing.B) {
+	const nBlocks = 16
+	for _, c := range []struct {
+		name      string
+		readahead int
+	}{{"sync", 0}, {"pipelined", 3}} {
+		b.Run(c.name, func(b *testing.B) {
+			var end sim.Time
+			for i := 0; i < b.N; i++ {
+				end = streamReadTime(b, nBlocks, c.readahead)
+			}
+			b.ReportMetric(float64(nBlocks*testBlock)/float64(util.MB)/end.Seconds(), "sim_MB/s")
+		})
+	}
+}

@@ -362,9 +362,37 @@ func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration)
 	case <-ch:
 		return s.Latest(id)
 	case <-timer:
+		// Deregister, or every timed-out poll would leak its waiter
+		// slot (and channel) in bs.waiters until publication.
+		s.mu.Lock()
+		for i, w := range bs.waiters {
+			if w.ch == ch {
+				bs.waiters = append(bs.waiters[:i], bs.waiters[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		// The publish may have raced the timer; prefer reporting it.
+		select {
+		case <-ch:
+			return s.Latest(id)
+		default:
+		}
 		pub, size, _ := s.Latest(id)
 		return pub, size, ErrTimeout
 	}
+}
+
+// PendingWaiters returns the number of registered WaitPublished
+// waiters for a blob (tests, leak diagnostics).
+func (s *State) PendingWaiters(id blob.ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.blobs[id]
+	if !ok {
+		return 0
+	}
+	return len(bs.waiters)
 }
 
 // Expired returns in-flight (blob, version) pairs assigned longer than

@@ -365,3 +365,44 @@ func TestRandomCommitOrderPublishesInOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestWaitPublishedTimeoutDeregistersWaiter is the regression pin for
+// the waiter leak: a timed-out WaitPublished must remove its slot from
+// the waiter list, or a client polling with short timeouts grows the
+// slice (and leaks a channel) on every call until publication.
+func TestWaitPublishedTimeoutDeregistersWaiter(t *testing.T) {
+	s := NewState(nil)
+	m := newBlob(t, s)
+	s.AssignVersion(m.ID, blob.KindAppend, 0, B, 1, 0)
+
+	for i := 0; i < 25; i++ {
+		if _, _, err := s.WaitPublished(m.ID, 1, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("poll %d err = %v, want ErrTimeout", i, err)
+		}
+	}
+	if n := s.PendingWaiters(m.ID); n != 0 {
+		t.Fatalf("%d waiters still registered after timed-out polls, want 0", n)
+	}
+
+	// A live waiter still counts, and publication still wakes it.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s.WaitPublished(m.ID, 1, 5*time.Second)
+		done <- err
+	}()
+	for i := 0; i < 100 && s.PendingWaiters(m.ID) == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.PendingWaiters(m.ID); n != 1 {
+		t.Fatalf("live waiter not registered (n=%d)", n)
+	}
+	if err := s.Commit(m.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter err = %v", err)
+	}
+	if n := s.PendingWaiters(m.ID); n != 0 {
+		t.Fatalf("%d waiters left after publication, want 0", n)
+	}
+}

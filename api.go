@@ -31,6 +31,7 @@ import (
 	"blobseer/internal/mapred"
 	"blobseer/internal/mapred/apps"
 	"blobseer/internal/placement"
+	"blobseer/internal/stream"
 )
 
 // Core data-model types.
@@ -41,6 +42,61 @@ type (
 	Version = blob.Version
 	// BlobMeta is a blob's static configuration.
 	BlobMeta = blob.Meta
+)
+
+// Handle types — the primary client surface. A Blob (from
+// Client.OpenBlob or Client.CreateBlob) pins a BLOB's static metadata
+// and owns writes, appends and version queries; a Snapshot (from
+// Blob.Latest or Blob.Snapshot) pins one published (version, size)
+// pair and serves zero-copy io.ReaderAt reads plus streaming readers,
+// with no per-call metadata round-trips. The flat Client.Read/Write/
+// Locations calls remain as compatibility shims over this path.
+type (
+	// Blob is a handle on one BLOB.
+	Blob = core.Blob
+	// Snapshot is a pinned, immutable published version of a BLOB; it
+	// implements io.ReaderAt.
+	Snapshot = core.Snapshot
+	// Location describes where one piece of a blob range physically
+	// lives.
+	Location = core.Location
+	// ReaderOptions tunes Snapshot.NewReader streaming (readahead).
+	ReaderOptions = core.ReaderOptions
+	// WriterOptions tunes Blob.NewWriter streaming (write-behind).
+	WriterOptions = core.WriterOptions
+	// StreamReader is the sequential snapshot reader of the shared
+	// streaming engine (what Snapshot.NewReader and BSFS Open return).
+	StreamReader = stream.Reader
+	// StreamWriter is the write-behind blob writer of the shared
+	// streaming engine (what Blob.NewWriter and BSFS Create return).
+	StreamWriter = stream.Writer
+	// ReadStats counts a stream reader's pipeline activity.
+	ReadStats = stream.ReadStats
+)
+
+// Error taxonomy, re-exported so applications can errors.Is against
+// the facade alone.
+var (
+	// ErrNotPublished: a read named a version newer than the latest
+	// published snapshot.
+	ErrNotPublished = core.ErrNotPublished
+	// ErrNegativeOffset: ReadAt was handed an offset below zero.
+	ErrNegativeOffset = core.ErrNegativeOffset
+	// ErrNotFound: no such file or directory.
+	ErrNotFound = fs.ErrNotFound
+	// ErrExists: Create without overwrite hit an existing file.
+	ErrExists = fs.ErrExists
+	// ErrIsDir / ErrNotDir / ErrNotEmpty: namespace shape mismatches.
+	ErrIsDir    = fs.ErrIsDir
+	ErrNotDir   = fs.ErrNotDir
+	ErrNotEmpty = fs.ErrNotEmpty
+	// ErrNoAppend: the storage layer cannot append (HDFS, Section V-F).
+	ErrNoAppend = fs.ErrNoAppend
+	// ErrClosed matches any operation on a closed stream handle;
+	// ErrReaderClosed and ErrWriterClosed are its two specific sides.
+	ErrClosed       = stream.ErrClosed
+	ErrReaderClosed = stream.ErrReaderClosed
+	ErrWriterClosed = stream.ErrWriterClosed
 )
 
 // Deployment types.

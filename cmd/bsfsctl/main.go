@@ -11,6 +11,7 @@
 //	bsfsctl [conn flags] append more.bin /data/input
 //	bsfsctl [conn flags] versions /data/input
 //	bsfsctl [conn flags] catv 2 /data/input      # read snapshot version 2
+//	bsfsctl [conn flags] readat 4096 512 /data/input  # random-access read
 //	bsfsctl [conn flags] locations /data/input   # block -> host map
 //	bsfsctl [conn flags] cp -w 8 /data/input /data/input2   # parallel copy
 //	bsfsctl [conn flags] prune 3 /data/input                # GC versions < 3
@@ -54,6 +55,7 @@ commands:
   get <remote> <local>     download to a local file
   cat <remote>             write file contents to stdout
   catv <version> <remote>  cat a pinned snapshot version
+  readat <off> <len> <remote>  random-access read of the latest snapshot
   append <local> <remote>  append a local file's bytes
   rm [-r] <path>           delete a file or directory
   mv <src> <dst>           rename
@@ -232,6 +234,9 @@ func run(ctx context.Context, fsys *bsfs.FS, cmd string, args []string) error {
 		if err != nil {
 			return fmt.Errorf("catv: bad version %q", args[0])
 		}
+		// OpenVersion IS the handle path now (Blob.Snapshot +
+		// Snapshot.NewReader under the hood) and respects the
+		// -readahead/-no-cache tuning flags.
 		r, err := fsys.OpenVersion(ctx, args[1], v)
 		if err != nil {
 			return err
@@ -239,6 +244,36 @@ func run(ctx context.Context, fsys *bsfs.FS, cmd string, args []string) error {
 		defer r.Close()
 		_, err = io.Copy(os.Stdout, r)
 		return err
+
+	case "readat":
+		if len(args) != 3 {
+			return fmt.Errorf("readat: want <offset> <length> <remote>")
+		}
+		off, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("readat: bad offset %q", args[0])
+		}
+		length, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || length < 0 {
+			return fmt.Errorf("readat: bad length %q", args[1])
+		}
+		// Random access without a stream: one pinned snapshot, one
+		// zero-copy ReadAt into a caller-owned buffer.
+		b, err := fsys.OpenBlob(ctx, args[2])
+		if err != nil {
+			return err
+		}
+		s, err := b.Latest(ctx)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, length)
+		n, err := s.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return err
+		}
+		_, werr := os.Stdout.Write(buf[:n])
+		return werr
 
 	case "rm":
 		recursive := false

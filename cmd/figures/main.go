@@ -7,26 +7,80 @@
 //	figures -fig 4           # only Figure 4
 //	figures -fig 6b -quick   # Figure 6b, coarse sweep
 //	figures -ablations       # the design-choice ablations of DESIGN.md
+//	figures -selftest        # live-stack sanity check before a long sweep
 //
 // Expected output shapes are documented in EXPERIMENTS.md; the shape
 // regression tests live in internal/bench.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"blobseer"
 	"blobseer/internal/bench"
 )
+
+// selftest deploys the real (in-process) stack and drives one
+// handle-based round trip — CreateBlob, write-behind streaming,
+// pinned-snapshot ReadAt — so a broken client surface fails fast
+// instead of twenty minutes into a figure sweep.
+func selftest() error {
+	const block = 64 << 10
+	cl, err := blobseer.Start(blobseer.Config{DataProviders: 4, BlockSize: block})
+	if err != nil {
+		return err
+	}
+	defer cl.Stop()
+	ctx := context.Background()
+	b, err := cl.NewClient("").CreateBlob(ctx, block, 1)
+	if err != nil {
+		return err
+	}
+	payload := bytes.Repeat([]byte("figures-selftest "), 2*block/16)
+	w := b.NewWriter(ctx, blobseer.WriterOptions{Depth: 2})
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	s, err := b.Latest(ctx)
+	if err != nil {
+		return err
+	}
+	back := make([]byte, s.Size())
+	if _, err := s.ReadAt(back, 0); err != nil && err != io.EOF {
+		return err
+	}
+	if !bytes.Equal(back, payload) {
+		return fmt.Errorf("selftest: snapshot read mismatch (%d bytes)", len(back))
+	}
+	fmt.Printf("selftest ok: v%d, %d bytes round-tripped through Blob/Snapshot handles\n",
+		s.Version(), s.Size())
+	return nil
+}
 
 func main() {
 	var (
 		fig       = flag.String("fig", "all", "figure to regenerate: 3a | 3b | 4 | 5 | 6a | 6b | all")
 		quick     = flag.Bool("quick", false, "coarse sweeps (3 points per curve)")
 		ablations = flag.Bool("ablations", false, "run the ablation experiments instead of the figures")
+		check     = flag.Bool("selftest", false, "run a live-stack handle-API sanity check and exit")
 	)
 	flag.Parse()
+
+	if *check {
+		if err := selftest(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ablations {
 		fmt.Println(bench.Table("Ablation — placement strategy (Fig-4 workload, 150 readers)",

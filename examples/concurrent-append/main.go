@@ -96,10 +96,18 @@ func main() {
 	elapsed := time.Since(start)
 
 	// Verify: every record of every shipper is present exactly once.
-	r, err := setup.Open(ctx, "/logs/events.log")
+	// The verification reader drops to the handle API — pin the latest
+	// snapshot once and stream it through the shared readahead engine;
+	// shippers still publishing new versions cannot disturb the pin.
+	bh, err := setup.OpenBlob(ctx, "/logs/events.log")
 	if err != nil {
 		log.Fatal(err)
 	}
+	snap, err := bh.Latest(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := snap.NewReader(ctx, blobseer.ReaderOptions{Readahead: 2})
 	defer r.Close()
 	counts := make(map[int]int)
 	lines := 0

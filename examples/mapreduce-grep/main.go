@@ -96,15 +96,36 @@ func runGrep(backend string) (time.Duration, int64, blobseer.JobStatus) {
 		log.Fatalf("%s job failed: %s", backend, st.Err)
 	}
 
-	// The single reducer wrote "pattern\tcount".
-	r, err := fsys.Open(ctx, "/out/part-r-00000")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer r.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		log.Fatal(err)
+	// The single reducer wrote "pattern\tcount". The Map/Reduce engine
+	// is storage-neutral, so read through the portable fs API — except
+	// on BSFS, where the handle surface pins the output's snapshot
+	// version explicitly (a later pipeline stage could keep reading it
+	// even while a re-run overwrites /out).
+	var out []byte
+	if bs, ok := fsys.(*blobseer.BSFS); ok {
+		bh, err := bs.OpenBlob(ctx, "/out/part-r-00000")
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := bh.Latest(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = make([]byte, snap.Size())
+		if _, err := snap.ReadAt(out, 0); err != nil && err != io.EOF {
+			log.Fatal(err)
+		}
+	} else {
+		r, err := fsys.Open(ctx, "/out/part-r-00000")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close()
+		var err2 error
+		out, err2 = io.ReadAll(r)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
 	}
 	var matches int64
 	if _, err := fmt.Sscanf(strings.TrimSpace(string(out)), pattern+"\t%d", &matches); err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync"
 	"time"
 
 	"blobseer"
@@ -95,25 +96,43 @@ func main() {
 	}
 	parallel := time.Since(parallelStart)
 
-	// Verify both copies.
+	// Verify both copies through the handle API: pin each copy's latest
+	// snapshot once, then let the same `workers` goroutines check
+	// disjoint ranges with zero-copy ReadAt into slices of one shared
+	// buffer — concurrent random-access reads with no per-call metadata
+	// round-trips, the read-side mirror of the parallel write path.
 	for _, path := range []string{"/data/copy-serial", "/data/copy-parallel"} {
-		r, err := fsys.Open(ctx, path)
+		bh, err := fsys.OpenBlob(ctx, path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := io.ReadAll(r)
-		r.Close()
+		snap, err := bh.Latest(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(data) != fileSize {
-			log.Fatalf("%s: %d bytes, want %d", path, len(data), fileSize)
+		if snap.Size() != fileSize {
+			log.Fatalf("%s: %d bytes, want %d", path, snap.Size(), fileSize)
 		}
-		for off := 0; off < fileSize; off += len(pattern) {
-			end := off + len(pattern)
-			if end > fileSize {
-				end = fileSize
+		data := make([]byte, fileSize)
+		var vg sync.WaitGroup
+		per := (fileSize + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			off := w * per
+			if off >= fileSize {
+				break
 			}
+			end := min(off+per, fileSize)
+			vg.Add(1)
+			go func(off, end int) {
+				defer vg.Done()
+				if _, err := snap.ReadAt(data[off:end], int64(off)); err != nil && err != io.EOF {
+					log.Fatalf("%s: read [%d,%d): %v", path, off, end, err)
+				}
+			}(off, end)
+		}
+		vg.Wait()
+		for off := 0; off < fileSize; off += len(pattern) {
+			end := min(off+len(pattern), fileSize)
 			if !bytes.Equal(data[off:end], pattern[:end-off]) {
 				log.Fatalf("%s: corruption at offset %d", path, off)
 			}

@@ -103,4 +103,23 @@ func main() {
 	for _, l := range locs {
 		fmt.Printf("block [%d, +%d) on %v\n", l.Off, l.Len, l.Hosts)
 	}
+
+	// 8. Drop below the file API: OpenBlob resolves the path to its
+	// BLOB handle, and one pinned Snapshot serves random-access ReadAt
+	// into caller-owned buffers with no per-call metadata round-trips —
+	// the surface the streaming readers above are built on.
+	bh, err := fsys.OpenBlob(ctx, "/demo/hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := bh.Latest(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	word := make([]byte, 4)
+	if _, err := snap.ReadAt(word, 0); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	fmt.Printf("handle API: snapshot v%d holds %d bytes; bytes [0,4) = %q\n",
+		snap.Version(), snap.Size(), word)
 }

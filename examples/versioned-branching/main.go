@@ -5,12 +5,17 @@
 // readable while new versions are produced, so a pipeline stage can
 // rewrite part of a dataset while another stage still consumes the
 // original, with only the differential patch stored.
+//
+// It drives the handle-based client API: one Blob handle owns the
+// writes, and each version is pinned once as a Snapshot whose
+// ReadAt fills caller-owned buffers with zero metadata round-trips.
 package main
 
 import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log"
 
 	"blobseer"
@@ -21,11 +26,16 @@ const blockSize = 64 << 10 // the paper's 64 MB, laptop-sized
 // block builds one full block filled with a label byte.
 func block(label byte) []byte { return bytes.Repeat([]byte{label}, blockSize) }
 
-// summarize renders a snapshot as one letter per block.
-func summarize(data []byte) string {
+// summarize renders a snapshot as one letter per block, reading
+// through the pinned handle into a reused buffer.
+func summarize(s *blobseer.Snapshot, buf []byte) string {
+	buf = buf[:s.Size()]
+	if _, err := s.ReadAt(buf, 0); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
 	var out []byte
-	for off := 0; off < len(data); off += blockSize {
-		out = append(out, data[off])
+	for off := 0; off < len(buf); off += blockSize {
+		out = append(out, buf[off])
 	}
 	return string(out)
 }
@@ -40,15 +50,16 @@ func main() {
 	}
 	defer cl.Stop()
 
-	// The low-level BLOB API: this is the layer below BSFS.
+	// The low-level BLOB API: this is the layer below BSFS. CreateBlob
+	// returns a handle that pins the blob's static metadata once.
 	client := cl.NewClient("")
-	meta, err := client.Create(ctx, blockSize, 1)
+	b, err := client.CreateBlob(ctx, blockSize, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Figure 1(a): append the first four blocks to an empty BLOB.
-	v1, err := client.Append(ctx, meta.ID,
+	v1, err := b.Append(ctx,
 		bytes.Join([][]byte{block('A'), block('B'), block('C'), block('D')}, nil))
 	if err != nil {
 		log.Fatal(err)
@@ -56,30 +67,29 @@ func main() {
 
 	// Figure 1(b): overwrite the second and third block — a write at a
 	// random offset, which HDFS forbids outright.
-	v2, err := client.Write(ctx, meta.ID, blockSize,
+	v2, err := b.Write(ctx, blockSize,
 		bytes.Join([][]byte{block('x'), block('y')}, nil))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Figure 1(c): append one more block.
-	v3, err := client.Append(ctx, meta.ID, block('E'))
+	v3, err := b.Append(ctx, block('E'))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Every snapshot remains readable: the "branch" a slow pipeline
 	// stage pinned at v1 still sees is byte-identical to the original.
+	// Snapshot pins (version, size) once — no VersionInfo round-trip
+	// per read, and ReadAt reuses one caller-owned buffer throughout.
+	buf := make([]byte, 5*blockSize)
 	for _, v := range []blobseer.Version{v1, v2, v3} {
-		d, err := client.VM().VersionInfo(ctx, meta.ID, v)
+		s, err := b.Snapshot(ctx, v)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := client.Read(ctx, meta.ID, v, 0, d.SizeAfter)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("snapshot v%d: blocks [%s] (%d bytes)\n", v, summarize(data), len(data))
+		fmt.Printf("snapshot v%d: blocks [%s] (%d bytes)\n", s.Version(), summarize(s, buf), s.Size())
 	}
 
 	// Only differential patches were stored: 4 + 2 + 1 blocks, not
@@ -92,29 +102,30 @@ func main() {
 	fmt.Printf("providers store %d blocks for 3 snapshots spanning %d logical blocks\n", blocks, 4+4+5)
 
 	// A stage that went wrong is undone by branching from an old
-	// snapshot: re-append the original middle blocks on top of v3.
-	orig, err := client.Read(ctx, meta.ID, v1, blockSize, 2*blockSize)
+	// snapshot: re-write the original middle blocks on top of v3,
+	// reading them straight out of the pinned v1 snapshot.
+	s1, err := b.Snapshot(ctx, v1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v4, err := client.Write(ctx, meta.ID, blockSize, orig)
+	orig := make([]byte, 2*blockSize)
+	if _, err := s1.ReadAt(orig, blockSize); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	v4, err := b.Write(ctx, blockSize, orig)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := client.VM().VersionInfo(ctx, meta.ID, v4)
+	s4, err := b.WaitPublished(ctx, v4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := client.Read(ctx, meta.ID, v4, 0, d.SizeAfter)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rollback  v%d: blocks [%s] — middle blocks restored from v%d\n", v4, summarize(data), v1)
+	fmt.Printf("rollback  v%d: blocks [%s] — middle blocks restored from v%d\n", s4.Version(), summarize(s4, buf), v1)
 
 	// Finally, reclaim history: garbage-collect everything below the
 	// rollback snapshot. The sweep is differential-aware — blocks the
 	// kept snapshot still reads through shared subtrees survive.
-	st, err := client.GC(ctx, meta.ID, v4)
+	st, err := client.GC(ctx, b.ID(), v4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,12 +135,13 @@ func main() {
 	}
 	fmt.Printf("gc below v%d: freed %d tree nodes and %d block replicas; providers now hold %d blocks\n",
 		v4, st.NodesFreed, st.BlocksFreed, blocksAfter)
-	if _, err := client.Read(ctx, meta.ID, v1, 0, blockSize); err != nil {
+	if _, err := b.Snapshot(ctx, v1); err != nil {
+		fmt.Printf("pinning pruned v%d now fails as specified: %v\n", v1, err)
+	} else if _, err := client.Read(ctx, b.ID(), v1, 0, blockSize); err != nil {
 		fmt.Printf("reading pruned v%d now fails as specified: %v\n", v1, err)
 	}
-	data, err = client.Read(ctx, meta.ID, v4, 0, d.SizeAfter)
-	if err != nil || summarize(data) != "ABCDE" {
-		log.Fatalf("kept snapshot must survive GC intact: %q, %v", summarize(data), err)
+	if got := summarize(s4, buf); got != "ABCDE" {
+		log.Fatalf("kept snapshot must survive GC intact: %q", got)
 	}
-	fmt.Printf("kept      v%d: blocks [%s] — intact after garbage collection\n", v4, summarize(data))
+	fmt.Printf("kept      v%d: blocks [%s] — intact after garbage collection\n", v4, summarize(s4, buf))
 }

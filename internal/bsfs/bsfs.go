@@ -5,19 +5,24 @@
 // prefetching and write-behind caching at block granularity (Section
 // IV-B), and exposure of the physical data layout for affinity
 // scheduling (Section IV-C).
+//
+// BSFS readers and writers are thin adapters: a file open resolves the
+// path to a BLOB handle (core.Blob), pins a snapshot (core.Snapshot),
+// and streams through the shared pipeline engine of internal/stream —
+// the same engine raw-blob applications get from Snapshot.NewReader
+// and Blob.NewWriter.
 package bsfs
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
-	"sync"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/core"
 	"blobseer/internal/fs"
 	"blobseer/internal/namespace"
+	"blobseer/internal/stream"
+	"blobseer/internal/vmanager"
 )
 
 // Default streaming-pipeline windows (Section IV-B): how far a
@@ -61,6 +66,15 @@ var (
 	_ fs.SnapshotReader = (*FS)(nil)
 )
 
+// ReadStats counts the reader-side pipeline activity (tests, tuning).
+// It is the shared engine's stat block; the alias keeps the historical
+// bsfs-level name working.
+type ReadStats = stream.ReadStats
+
+// PipelinedReader is implemented by BSFS readers; callers can
+// type-assert an fs.Reader to observe the readahead pipeline.
+type PipelinedReader = stream.PipelinedReader
+
 // New returns a BSFS client.
 func New(cfg Config) (*FS, error) {
 	if cfg.Core == nil || cfg.NS == nil {
@@ -87,13 +101,31 @@ func (f *FS) Name() string { return "bsfs" }
 // BlockSize implements fs.FileSystem.
 func (f *FS) BlockSize() int64 { return f.cfg.BlockSize }
 
+// OpenBlob resolves a file path to its BLOB handle — the escape hatch
+// from the file-system API down to the versioned BLOB layer. Through
+// the handle an application pins snapshots (Blob.Snapshot), reads with
+// zero-copy random access (Snapshot.ReadAt) and writes concurrently at
+// fixed offsets (Blob.Write) — capabilities the flat fs.FileSystem
+// surface cannot express.
+func (f *FS) OpenBlob(ctx context.Context, path string) (*core.Blob, error) {
+	id, err := f.cfg.NS.GetFile(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return f.cfg.Core.OpenBlob(ctx, id)
+}
+
 // Create implements fs.FileSystem.
 func (f *FS) Create(ctx context.Context, path string, overwrite bool) (fs.Writer, error) {
 	id, err := f.cfg.NS.CreateFile(ctx, path, f.cfg.BlockSize, f.cfg.Replication, overwrite)
 	if err != nil {
 		return nil, err
 	}
-	return f.newWriter(ctx, id, false), nil
+	b, err := f.cfg.Core.OpenBlob(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return b.NewWriter(ctx, core.WriterOptions{Depth: f.cfg.WriteBehindDepth}), nil
 }
 
 // Append implements fs.FileSystem. Appends to block-aligned files (the
@@ -102,25 +134,54 @@ func (f *FS) Create(ctx context.Context, path string, overwrite bool) (fs.Writer
 // read-modify-write on first flush, which is only safe for a single
 // appender — exactly the semantics Hadoop applications expect.
 func (f *FS) Append(ctx context.Context, path string) (fs.Writer, error) {
-	id, err := f.cfg.NS.GetFile(ctx, path)
+	b, err := f.OpenBlob(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	return f.newWriter(ctx, id, true), nil
+	return b.NewWriter(ctx, core.WriterOptions{Append: true, Depth: f.cfg.WriteBehindDepth}), nil
 }
 
 // Open implements fs.FileSystem. The snapshot version is pinned at open
 // time: concurrent writers never disturb this reader.
 func (f *FS) Open(ctx context.Context, path string) (fs.Reader, error) {
-	id, err := f.cfg.NS.GetFile(ctx, path)
+	b, err := f.OpenBlob(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	v, size, err := f.cfg.Core.Latest(ctx, id)
+	s, err := b.Latest(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.newReader(ctx, id, v, size), nil
+	return f.newReader(ctx, s), nil
+}
+
+// OpenVersion opens a file pinned to an explicit snapshot version —
+// the versioning capability HDFS lacks entirely (Section VI-A). It
+// implements fs.SnapshotReader. Version numbers are external input
+// here: 0 (blob.NoVersion, which Blob.Snapshot would resolve to "the
+// latest") is rejected rather than silently un-pinned.
+func (f *FS) OpenVersion(ctx context.Context, path string, version uint64) (fs.Reader, error) {
+	if blob.Version(version) == blob.NoVersion {
+		return nil, fmt.Errorf("bsfs: %w: 0 (published versions start at 1)", vmanager.ErrBadVersion)
+	}
+	b, err := f.OpenBlob(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := b.Snapshot(ctx, blob.Version(version))
+	if err != nil {
+		return nil, err
+	}
+	return f.newReader(ctx, s), nil
+}
+
+// newReader streams a pinned snapshot through the shared engine with
+// this FS's pipeline tuning.
+func (f *FS) newReader(ctx context.Context, s *core.Snapshot) *stream.Reader {
+	return s.NewReader(ctx, core.ReaderOptions{
+		Readahead: f.cfg.ReadaheadBlocks,
+		NoCache:   f.cfg.DisableCache,
+	})
 }
 
 // Stat implements fs.FileSystem.
@@ -184,11 +245,15 @@ func (f *FS) Rename(ctx context.Context, src, dst string) error {
 // Locations implements fs.FileSystem by mapping Hadoop's
 // getFileBlockLocations onto BlobSeer's layout primitive.
 func (f *FS) Locations(ctx context.Context, path string, off, length int64) ([]fs.BlockLocation, error) {
-	id, err := f.cfg.NS.GetFile(ctx, path)
+	b, err := f.OpenBlob(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	locs, err := f.cfg.Core.Locations(ctx, id, blob.NoVersion, off, length)
+	s, err := b.Latest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	locs, err := s.Locations(ctx, off, length)
 	if err != nil {
 		return nil, err
 	}
@@ -199,22 +264,6 @@ func (f *FS) Locations(ctx context.Context, path string, off, length int64) ([]f
 	return out, nil
 }
 
-// OpenVersion opens a file pinned to an explicit snapshot version —
-// the versioning capability HDFS lacks entirely (Section VI-A). It
-// implements fs.SnapshotReader.
-func (f *FS) OpenVersion(ctx context.Context, path string, version uint64) (fs.Reader, error) {
-	v := blob.Version(version)
-	id, err := f.cfg.NS.GetFile(ctx, path)
-	if err != nil {
-		return nil, err
-	}
-	d, err := f.cfg.Core.VM().VersionInfo(ctx, id, v)
-	if err != nil {
-		return nil, err
-	}
-	return f.newReader(ctx, id, v, d.SizeAfter), nil
-}
-
 // Versions returns the published version count of a file.
 func (f *FS) Versions(ctx context.Context, path string) (blob.Version, error) {
 	id, err := f.cfg.NS.GetFile(ctx, path)
@@ -223,588 +272,6 @@ func (f *FS) Versions(ctx context.Context, path string) (blob.Version, error) {
 	}
 	v, _, err := f.cfg.Core.Latest(ctx, id)
 	return v, err
-}
-
-// ReadStats counts the reader-side pipeline activity (tests, tuning).
-type ReadStats struct {
-	Prefetched   int // background block fetches started ahead of pos
-	PrefetchHits int // blocks consumed out of the readahead window
-	Canceled     int // window entries dropped unconsumed by Seek/Close
-}
-
-// PipelinedReader is implemented by BSFS readers; callers can
-// type-assert an fs.Reader to observe the readahead pipeline.
-type PipelinedReader interface {
-	ReadStats() ReadStats
-}
-
-// reader implements fs.Reader with whole-block prefetching: when the
-// requested data is not cached, the full enclosing block is fetched
-// (Section IV-B), so a Hadoop-style sequence of 4 KB reads costs one
-// block transfer. With ReadaheadBlocks > 0 the reader also detects
-// sequential access and keeps a bounded window of blocks in flight
-// ahead of the stream position, fetched by background goroutines, so
-// consuming block i overlaps the transfer of blocks i+1..i+N.
-type reader struct {
-	fs        *FS
-	ctx       context.Context
-	blob      blob.ID
-	version   blob.Version
-	size      int64
-	blockSize int64
-	readahead int
-
-	mu       sync.Mutex
-	pos      int64
-	cacheOff int64 // file offset of cached block (-1 = empty)
-	cache    []byte
-	closed   bool
-
-	nextSeq int64            // block start that would continue the sequential run (-1 = none)
-	window  map[int64]*fetch // block start -> in-flight or completed background fetch
-	stats   ReadStats
-}
-
-// fetch is one asynchronous block fetch.
-type fetch struct {
-	done   chan struct{}
-	cancel context.CancelFunc
-	data   []byte
-	err    error
-}
-
-func (f *FS) newReader(ctx context.Context, id blob.ID, v blob.Version, size int64) *reader {
-	return &reader{
-		fs:        f,
-		ctx:       ctx,
-		blob:      id,
-		version:   v,
-		size:      size,
-		blockSize: f.cfg.BlockSize,
-		readahead: f.cfg.ReadaheadBlocks,
-		cacheOff:  -1,
-		nextSeq:   -1,
-		window:    make(map[int64]*fetch),
-	}
-}
-
-// errSeekRaced reports that a concurrent Seek moved the stream while a
-// pipelined fetch was waited on (the lock is released during the
-// wait); the read loop resumes from the new position.
-var errSeekRaced = errors.New("bsfs: seek raced a block fetch")
-
-// Read implements io.Reader.
-func (r *reader) Read(p []byte) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return 0, fs.ErrReaderClosed
-	}
-	if r.pos >= r.size {
-		return 0, io.EOF
-	}
-	n := 0
-	for n < len(p) && r.pos < r.size {
-		data, err := r.lockedFetch(r.pos)
-		if errors.Is(err, errSeekRaced) {
-			// A concurrent Seek moved the stream. Bytes already copied
-			// stay a single contiguous range (return them); otherwise
-			// resume from the position the Seek set.
-			if n > 0 {
-				return n, nil
-			}
-			continue
-		}
-		if err != nil {
-			if n > 0 {
-				return n, nil
-			}
-			return 0, err
-		}
-		want := min(int64(len(p)-n), r.size-r.pos)
-		c := copy(p[n:int64(n)+want], data)
-		n += c
-		r.pos += int64(c)
-		if c == 0 {
-			break
-		}
-	}
-	if n == 0 && r.pos >= r.size {
-		return 0, io.EOF // a racing Seek pushed the stream to EOF
-	}
-	return n, nil
-}
-
-// lockedFetch returns cached bytes at file offset off, loading the
-// enclosing block if needed.
-func (r *reader) lockedFetch(off int64) ([]byte, error) {
-	blockStart := off / r.blockSize * r.blockSize
-	if r.cache == nil || r.cacheOff != blockStart || off-blockStart >= int64(len(r.cache)) {
-		length := r.blockSize
-		if blockStart+length > r.size {
-			length = r.size - blockStart
-		}
-		if r.fs.cfg.DisableCache {
-			// Ablation mode: fetch only what was asked (here: to block
-			// end, since callers of lockedFetch consume incrementally;
-			// the distinction matters for the simulator, which models
-			// per-request costs).
-			return r.fs.cfg.Core.Read(r.ctx, r.blob, r.version, off, blockStart+length-off)
-		}
-		if r.readahead > 0 {
-			if err := r.lockedLoadPipelined(off, blockStart, length); err != nil {
-				return nil, err
-			}
-		} else {
-			data, err := r.fs.cfg.Core.Read(r.ctx, r.blob, r.version, blockStart, length)
-			if err != nil {
-				return nil, err
-			}
-			r.cache = data
-			r.cacheOff = blockStart
-		}
-	}
-	return r.cache[off-r.cacheOff:], nil
-}
-
-// lockedLoadPipelined installs the block at blockStart into the cache
-// through the readahead window: it consumes a background fetch if one
-// is in flight (or starts one), launches the next window of prefetches
-// when the access pattern is sequential, and waits with the lock
-// released so Seek/Close stay responsive. off is the stream position
-// the caller is serving; if a concurrent Seek moves r.pos off it while
-// the lock is down, errSeekRaced tells the read loop to resume from
-// the new position instead of mis-pairing old bytes with the new one.
-func (r *reader) lockedLoadPipelined(off, blockStart, length int64) error {
-	f, hit := r.window[blockStart]
-	if !hit {
-		f = r.startFetch(blockStart, length)
-		r.window[blockStart] = f
-	} else {
-		r.stats.PrefetchHits++
-	}
-
-	// Sequential-access detection: the run continues (or starts at the
-	// beginning of the file). Top the window back up before blocking on
-	// the current block so the pipeline never drains.
-	if blockStart == 0 || blockStart == r.nextSeq {
-		for next := blockStart + r.blockSize; next < r.size && next <= blockStart+int64(r.readahead)*r.blockSize; next += r.blockSize {
-			if _, ok := r.window[next]; ok {
-				continue
-			}
-			ln := min(r.blockSize, r.size-next)
-			r.window[next] = r.startFetch(next, ln)
-			r.stats.Prefetched++
-		}
-	}
-	r.nextSeq = blockStart + r.blockSize
-
-	// Blocks behind the stream position are dead weight: cancel them.
-	r.lockedPruneBehind(blockStart)
-
-	for attempt := 0; ; attempt++ {
-		r.mu.Unlock()
-		<-f.done
-		r.mu.Lock()
-		if r.closed {
-			return fs.ErrReaderClosed
-		}
-		if r.window[blockStart] == f {
-			delete(r.window, blockStart)
-		}
-		if f.err == nil {
-			r.cache = f.data
-			r.cacheOff = blockStart
-			if r.pos != off {
-				return errSeekRaced // block kept cached; serve the new pos
-			}
-			return nil
-		}
-		if r.pos != off {
-			return errSeekRaced
-		}
-		// A prefetch canceled by a concurrent Seek (whose target then
-		// turned out to need this block after all) is not a stream
-		// error: retry once in the foreground.
-		if attempt > 0 || !errors.Is(f.err, context.Canceled) || r.ctx.Err() != nil {
-			return f.err
-		}
-		f = r.startFetch(blockStart, length)
-		r.window[blockStart] = f
-	}
-}
-
-// startFetch launches a background fetch of [blockStart,
-// blockStart+length) with its own cancelable context.
-func (r *reader) startFetch(blockStart, length int64) *fetch {
-	fctx, cancel := context.WithCancel(r.ctx)
-	f := &fetch{done: make(chan struct{}), cancel: cancel}
-	go func() {
-		defer close(f.done)
-		f.data, f.err = r.fs.cfg.Core.Read(fctx, r.blob, r.version, blockStart, length)
-		cancel()
-	}()
-	return f
-}
-
-// lockedCancelWindow aborts every outstanding background fetch.
-func (r *reader) lockedCancelWindow() {
-	for start, f := range r.window {
-		f.cancel()
-		delete(r.window, start)
-		r.stats.Canceled++
-	}
-	r.nextSeq = -1
-}
-
-// lockedPruneBehind aborts window fetches strictly behind blockStart,
-// keeping the warm entries ahead of it.
-func (r *reader) lockedPruneBehind(blockStart int64) {
-	for start, f := range r.window {
-		if start < blockStart {
-			f.cancel()
-			delete(r.window, start)
-			r.stats.Canceled++
-		}
-	}
-}
-
-// Seek implements io.Seeker. Seeking away from the run cancels the
-// readahead window: prefetches issued for the abandoned run are
-// aborted rather than left to fetch blocks the stream no longer
-// wants. A seek whose target is still in hand — inside the cached
-// block or a prefetched window entry — keeps the warm pipeline and
-// only drops entries the stream has passed.
-func (r *reader) Seek(offset int64, whence int) (int64, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return 0, fs.ErrReaderClosed
-	}
-	var abs int64
-	switch whence {
-	case io.SeekStart:
-		abs = offset
-	case io.SeekCurrent:
-		abs = r.pos + offset
-	case io.SeekEnd:
-		abs = r.size + offset
-	default:
-		return 0, fmt.Errorf("bsfs: bad whence %d", whence)
-	}
-	if abs < 0 {
-		return 0, fmt.Errorf("bsfs: negative seek position %d", abs)
-	}
-	if abs != r.pos {
-		newBlock := abs / r.blockSize * r.blockSize
-		switch {
-		case r.cache != nil && r.cacheOff == newBlock:
-			r.lockedPruneBehind(newBlock)
-		case r.window[newBlock] != nil:
-			r.lockedPruneBehind(newBlock)
-			r.nextSeq = newBlock // the run continues on the prefetched block
-		default:
-			r.lockedCancelWindow()
-		}
-	}
-	r.pos = abs
-	return abs, nil
-}
-
-// Close implements io.Closer.
-func (r *reader) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.lockedCancelWindow()
-	r.closed = true
-	r.cache = nil
-	return nil
-}
-
-// Size returns the pinned snapshot size.
-func (r *reader) Size() int64 { return r.size }
-
-// ReadStats implements PipelinedReader.
-func (r *reader) ReadStats() ReadStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
-}
-
-// writer implements fs.Writer with write-behind buffering: data is
-// committed to BlobSeer one full block at a time; the final partial
-// block is committed at Close (Section IV-B). With WriteBehindDepth >
-// 0 full-block commits run on a bounded background worker pool while
-// Write keeps buffering; commit errors are latched and surfaced on the
-// next Write or Close, and Close drains the window before committing
-// the final partial block.
-type writer struct {
-	fs         *FS
-	ctx        context.Context
-	blob       blob.ID
-	blockSize  int64
-	appendMode bool
-	depth      int
-
-	mu         sync.Mutex
-	started    bool
-	offsetMode bool  // create mode, or append after an unaligned-tail merge
-	written    int64 // offset mode: file offset of the next flush
-	buf        []byte
-	closed     bool
-	closeErr   error
-
-	// Write-behind state (depth > 0). Workers never take mu, so
-	// holding it across a blocking enqueue cannot deadlock.
-	queue chan wbBlock
-	wg    sync.WaitGroup
-
-	errMu sync.Mutex
-	werr  error // first background commit error, latched
-}
-
-// wbBlock is one full block handed to the write-behind pool. off < 0
-// marks a block-aligned append (offset fixed by the version manager).
-type wbBlock struct {
-	off  int64
-	data []byte
-}
-
-func (f *FS) newWriter(ctx context.Context, id blob.ID, appendMode bool) *writer {
-	return &writer{
-		fs:         f,
-		ctx:        ctx,
-		blob:       id,
-		blockSize:  f.cfg.BlockSize,
-		appendMode: appendMode,
-		depth:      f.cfg.WriteBehindDepth,
-	}
-}
-
-// asyncErr returns the latched background commit error, if any.
-func (w *writer) asyncErr() error {
-	w.errMu.Lock()
-	defer w.errMu.Unlock()
-	return w.werr
-}
-
-func (w *writer) setAsyncErr(err error) {
-	w.errMu.Lock()
-	if w.werr == nil {
-		w.werr = err
-	}
-	w.errMu.Unlock()
-}
-
-// Write implements io.Writer.
-func (w *writer) Write(p []byte) (int, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		if w.closeErr != nil {
-			return 0, w.closeErr
-		}
-		return 0, fs.ErrWriterClosed
-	}
-	if err := w.asyncErr(); err != nil {
-		return 0, err
-	}
-	total := 0
-	for len(p) > 0 {
-		room := int(w.blockSize) - len(w.buf)
-		if room <= 0 {
-			if err := w.lockedFlush(false); err != nil {
-				return total, err
-			}
-			room = int(w.blockSize) - len(w.buf)
-		}
-		n := len(p)
-		if n > room {
-			n = room
-		}
-		w.buf = append(w.buf, p[:n]...)
-		p = p[n:]
-		total += n
-	}
-	// Eagerly flush full blocks so long streams commit as they go.
-	if int64(len(w.buf)) >= w.blockSize {
-		if err := w.lockedFlush(false); err != nil {
-			return total, err
-		}
-	}
-	return total, nil
-}
-
-// lockedStart resolves the write mode on first flush: create-mode
-// streams and merged unaligned-tail appends track offsets themselves;
-// block-aligned appends go through BlobSeer's native append.
-func (w *writer) lockedStart() error {
-	if w.started {
-		return nil
-	}
-	if w.appendMode {
-		// An unaligned tail cannot go through core appends (the
-		// version manager rejects appends onto unaligned EOFs), so
-		// merge it once and continue with offset-tracked writes.
-		// This path is single-appender, like Hadoop's append; the
-		// aligned path keeps full append/append concurrency.
-		_, size, err := w.fs.cfg.Core.Latest(w.ctx, w.blob)
-		if err != nil {
-			return err
-		}
-		if rem := size % w.blockSize; rem != 0 {
-			tailStart := size - rem
-			tail, err := w.fs.cfg.Core.Read(w.ctx, w.blob, blob.NoVersion, tailStart, rem)
-			if err != nil {
-				return err
-			}
-			w.buf = append(tail, w.buf...)
-			w.offsetMode = true
-			w.written = tailStart
-		}
-	} else {
-		w.offsetMode = true
-	}
-	w.started = true
-	return nil
-}
-
-// lockedFlush commits buffered data as BlobSeer operations. Unless
-// final, it only commits whole blocks so every flush offset stays
-// block-aligned (the remainder stays buffered for the next round).
-// With write-behind enabled, non-final flushes enqueue whole blocks to
-// the background pool instead of committing inline. On error the
-// buffered data is restored, so a transient failure loses nothing.
-func (w *writer) lockedFlush(final bool) error {
-	if len(w.buf) == 0 {
-		return nil
-	}
-	if err := w.lockedStart(); err != nil {
-		return err
-	}
-	if w.depth > 0 && !final {
-		return w.lockedEnqueueFull()
-	}
-	data := w.buf
-	if final {
-		w.buf = nil
-	} else {
-		keep := int64(len(data)) % w.blockSize
-		flushLen := int64(len(data)) - keep
-		if flushLen == 0 {
-			return nil // no whole block buffered yet
-		}
-		w.buf = append([]byte(nil), data[flushLen:]...)
-		data = data[:flushLen]
-	}
-	if !w.offsetMode {
-		// Block-aligned append: fully concurrent with other appenders,
-		// the version manager fixes the offset (Figure 5's workload).
-		if _, err := w.fs.cfg.Core.Append(w.ctx, w.blob, data); err != nil {
-			w.buf = append(data, w.buf...)
-			return err
-		}
-		return nil
-	}
-	off := w.written
-	w.written += int64(len(data))
-	if _, err := w.fs.cfg.Core.Write(w.ctx, w.blob, off, data); err != nil {
-		w.buf = append(data, w.buf...)
-		w.written = off
-		return err
-	}
-	return nil
-}
-
-// lockedEnqueueFull hands every whole buffered block to the
-// write-behind pool, blocking while the window is full.
-func (w *writer) lockedEnqueueFull() error {
-	for int64(len(w.buf)) >= w.blockSize {
-		if err := w.asyncErr(); err != nil {
-			return err
-		}
-		data := w.buf
-		block := data[:w.blockSize:w.blockSize]
-		w.buf = append([]byte(nil), data[w.blockSize:]...)
-		blk := wbBlock{off: -1, data: block}
-		if w.offsetMode {
-			blk.off = w.written
-			w.written += w.blockSize
-		}
-		w.lockedEnsureWorkers()
-		w.queue <- blk
-	}
-	return nil
-}
-
-// lockedEnsureWorkers starts the commit pool on first use. Offset-mode
-// streams commit up to depth blocks concurrently (each block's offset
-// is fixed at enqueue time, so completion order is irrelevant —
-// exactly the write/write concurrency BlobSeer is built for). Appends
-// use a single worker: the version manager assigns offsets in arrival
-// order, so in-flight appends from one stream must stay ordered.
-func (w *writer) lockedEnsureWorkers() {
-	if w.queue != nil {
-		return
-	}
-	w.queue = make(chan wbBlock, w.depth)
-	workers := 1
-	if w.offsetMode {
-		workers = w.depth
-	}
-	for i := 0; i < workers; i++ {
-		w.wg.Add(1)
-		go w.commitLoop()
-	}
-}
-
-// commitLoop drains the write-behind queue. After the first error the
-// remaining blocks are discarded (the stream is broken anyway) so the
-// producer never blocks on a dead pipeline.
-func (w *writer) commitLoop() {
-	defer w.wg.Done()
-	for blk := range w.queue {
-		if w.asyncErr() != nil {
-			continue
-		}
-		var err error
-		if blk.off >= 0 {
-			_, err = w.fs.cfg.Core.Write(w.ctx, w.blob, blk.off, blk.data)
-		} else {
-			_, err = w.fs.cfg.Core.Append(w.ctx, w.blob, blk.data)
-		}
-		if err != nil {
-			w.setAsyncErr(err)
-		}
-	}
-}
-
-// Close drains the write-behind window, then commits the final
-// (possibly partial) block. A failed Close does not latch the writer
-// closed-with-success: retrying is allowed (the unflushed tail is
-// preserved), and once a background commit error is latched every
-// further Close reports it instead of pretending the data is safe.
-func (w *writer) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return w.closeErr
-	}
-	if w.queue != nil {
-		close(w.queue)
-		w.wg.Wait()
-		w.queue = nil
-	}
-	if err := w.asyncErr(); err != nil {
-		w.closed = true
-		w.closeErr = err
-		return err
-	}
-	if err := w.lockedFlush(true); err != nil {
-		return err
-	}
-	w.closed = true
-	return nil
 }
 
 // Prune discards every snapshot of path below version keep and

@@ -13,6 +13,7 @@ import (
 	"blobseer/internal/bsfs"
 	"blobseer/internal/cluster"
 	"blobseer/internal/fs"
+	"blobseer/internal/vmanager"
 )
 
 const B = 4 * 1024
@@ -317,6 +318,14 @@ func TestOpenVersionTimeTravel(t *testing.T) {
 	got, _ := io.ReadAll(r)
 	if !bytes.Equal(got, pattern('a', B)) {
 		t.Error("version-1 read mismatch")
+	}
+	// Version 0 is blob.NoVersion internally; an externally supplied 0
+	// must be rejected, never silently resolved to the latest snapshot.
+	if _, err := f.OpenVersion(ctx, "/tt", 0); !errors.Is(err, vmanager.ErrBadVersion) {
+		t.Errorf("OpenVersion(0) = %v, want ErrBadVersion", err)
+	}
+	if err := f.Branch(ctx, "/tt", 0, "/tt-branch", 2); !errors.Is(err, vmanager.ErrBadVersion) {
+		t.Errorf("Branch(version 0) = %v, want ErrBadVersion", err)
 	}
 }
 

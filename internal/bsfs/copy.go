@@ -3,9 +3,12 @@ package bsfs
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"blobseer/internal/blob"
+	"blobseer/internal/core"
+	"blobseer/internal/vmanager"
 )
 
 // maxVersion folds the highest version out of a slice (0 if none).
@@ -34,26 +37,34 @@ func (f *FS) ParallelCopy(ctx context.Context, src, dst string, workers int) err
 	if workers < 1 {
 		workers = 1
 	}
-	srcID, err := f.cfg.NS.GetFile(ctx, src)
+	b, err := f.OpenBlob(ctx, src)
 	if err != nil {
 		return err
 	}
-	srcVer, size, err := f.cfg.Core.Latest(ctx, srcID)
+	s, err := b.Latest(ctx)
 	if err != nil {
 		return err
 	}
-	return f.copyRange(ctx, srcID, srcVer, size, dst, workers)
+	return f.copySnapshot(ctx, s, dst, workers)
 }
 
-// copyRange copies [0, size) of srcID at snapshot srcVer into a fresh
-// file dst using `workers` concurrent offset writers.
-func (f *FS) copyRange(ctx context.Context, srcID blob.ID, srcVer blob.Version, size int64, dst string, workers int) error {
+// copySnapshot copies a pinned source snapshot into a fresh file dst
+// using `workers` concurrent offset writers. The snapshot handle is
+// shared by every worker: the version metadata was resolved once at
+// the pin, and each worker's ReadAt fills its own range with no
+// per-call round-trips.
+func (f *FS) copySnapshot(ctx context.Context, s *core.Snapshot, dst string, workers int) error {
 	dstID, err := f.cfg.NS.CreateFile(ctx, dst, f.cfg.BlockSize, f.cfg.Replication, true)
 	if err != nil {
 		return err
 	}
+	size := s.Size()
 	if size == 0 {
 		return nil
+	}
+	dstBlob, err := f.cfg.Core.OpenBlob(ctx, dstID)
+	if err != nil {
+		return err
 	}
 
 	// Split into block-aligned worker ranges.
@@ -78,12 +89,12 @@ func (f *FS) copyRange(ctx context.Context, srcID blob.ID, srcVer blob.Version, 
 		wg.Add(1)
 		go func(i int, sp span) {
 			defer wg.Done()
-			data, err := f.cfg.Core.Read(ctx, srcID, srcVer, sp.off, sp.ln)
-			if err != nil {
+			data := make([]byte, sp.ln)
+			if _, err := s.ReadAtContext(ctx, data, sp.off); err != nil && err != io.EOF {
 				errs[i] = fmt.Errorf("bsfs: copy read [%d,+%d): %w", sp.off, sp.ln, err)
 				return
 			}
-			v, err := f.cfg.Core.Write(ctx, dstID, sp.off, data)
+			v, err := dstBlob.Write(ctx, sp.off, data)
 			if err != nil {
 				errs[i] = fmt.Errorf("bsfs: copy write [%d,+%d): %w", sp.off, sp.ln, err)
 				return
@@ -99,7 +110,7 @@ func (f *FS) copyRange(ctx context.Context, srcID blob.ID, srcVer blob.Version, 
 	}
 	// Wait until the last chunk's version is published so the complete
 	// copy is observable by the caller's next Open.
-	_, _, err = f.cfg.Core.WaitPublished(ctx, dstID, maxVersion(versions), 0)
+	_, err = dstBlob.WaitPublished(ctx, maxVersion(versions), 0)
 	return err
 }
 
@@ -113,14 +124,16 @@ func (f *FS) Branch(ctx context.Context, src string, version uint64, dst string,
 	if workers < 1 {
 		workers = 1
 	}
-	srcID, err := f.cfg.NS.GetFile(ctx, src)
+	if blob.Version(version) == blob.NoVersion {
+		return fmt.Errorf("bsfs: %w: 0 (published versions start at 1)", vmanager.ErrBadVersion)
+	}
+	b, err := f.OpenBlob(ctx, src)
 	if err != nil {
 		return err
 	}
-	v := blob.Version(version)
-	d, err := f.cfg.Core.VM().VersionInfo(ctx, srcID, v)
+	s, err := b.Snapshot(ctx, blob.Version(version))
 	if err != nil {
 		return err
 	}
-	return f.copyRange(ctx, srcID, v, d.SizeAfter, dst, workers)
+	return f.copySnapshot(ctx, s, dst, workers)
 }

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,9 +101,23 @@ type Client struct {
 	mu        sync.Mutex
 	histories map[blob.ID]*blob.History
 	metas     map[blob.ID]blob.Meta
+	sizes     map[verKey]int64    // published (blob, version) -> size; descriptors are immutable
 	hosts     map[string]string   // provider addr -> host
 	noChain   map[string]struct{} // heads that answered CodeChainUnsupported
 }
+
+// verKey names one published snapshot for the size cache.
+type verKey struct {
+	id blob.ID
+	v  blob.Version
+}
+
+// maxSizeCacheEntries bounds the published-version size cache. Cached
+// sizes are tiny and immutable, but a long-lived client pinning many
+// versions must not grow without limit; on overflow the whole map is
+// dropped (entries are one cheap Latest/VersionInfo round-trip to
+// refill, so plain reset beats LRU bookkeeping here).
+const maxSizeCacheEntries = 4096
 
 // NewClient builds a client from cfg.
 func NewClient(cfg Config) *Client {
@@ -119,6 +134,7 @@ func NewClient(cfg Config) *Client {
 		putSem:    make(chan struct{}, putConcurrency),
 		histories: make(map[blob.ID]*blob.History),
 		metas:     make(map[blob.ID]blob.Meta),
+		sizes:     make(map[verKey]int64),
 		hosts:     make(map[string]string),
 		noChain:   make(map[string]struct{}),
 	}
@@ -471,84 +487,137 @@ func (c *Client) extendHistory(id blob.ID, descs []blob.WriteDesc) (*blob.Histor
 	return h.Clone(), nil
 }
 
-// Read returns length bytes starting at off from version v of blob id
-// (v == blob.NoVersion reads the latest published snapshot). Reads are
-// clamped at the snapshot size; unwritten regions read as zeros.
-func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]byte, error) {
-	m, err := c.Meta(ctx, id)
-	if err != nil {
-		return nil, err
+// versionSize resolves the blob size at published version v, caching
+// the answer: published write descriptors are immutable, so once a
+// (blob, version) pair has been seen published its size never changes.
+// A version newer than the latest published snapshot fails with
+// ErrNotPublished.
+func (c *Client) versionSize(ctx context.Context, id blob.ID, v blob.Version) (int64, error) {
+	key := verKey{id, v}
+	c.mu.Lock()
+	size, ok := c.sizes[key]
+	c.mu.Unlock()
+	if ok {
+		return size, nil
 	}
 	pub, pubSize, err := c.vm.Latest(ctx, id)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	var size int64
-	switch {
-	case v == blob.NoVersion:
-		if pub == blob.NoVersion {
-			return nil, nil // empty blob
-		}
-		v, size = pub, pubSize
-	case v > pub:
-		return nil, fmt.Errorf("%w: version %d, published %d", ErrNotPublished, v, pub)
-	default:
+	if v > pub {
+		return 0, fmt.Errorf("%w: version %d, published %d", ErrNotPublished, v, pub)
+	}
+	if v == pub {
+		size = pubSize
+	} else {
 		d, err := c.vm.VersionInfo(ctx, id, v)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		size = d.SizeAfter
 	}
+	c.mu.Lock()
+	if len(c.sizes) >= maxSizeCacheEntries {
+		c.sizes = make(map[verKey]int64)
+	}
+	c.sizes[key] = size
+	c.mu.Unlock()
+	return size, nil
+}
 
-	if off >= size || length <= 0 {
-		return nil, nil
-	}
-	if off+length > size {
-		length = size - off
-	}
-	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: length})
+// Read returns length bytes starting at off from version v of blob id
+// (v == blob.NoVersion reads the latest published snapshot). Reads are
+// clamped at the snapshot size; unwritten regions read as zeros.
+//
+// Read is a compatibility shim over the Snapshot handle path: it pins
+// the version, allocates a result buffer, and fills it with one
+// ReadAt. Its clamp semantics are deliberately loose — a read past EOF
+// and a read of an unpublished (empty) blob both return (nil, nil),
+// indistinguishable from each other. Callers that need to tell the two
+// apart, or that read the same version more than once, should use
+// OpenBlob/Snapshot: the handle resolves the version metadata once and
+// reads into caller-owned buffers with no per-call round-trips.
+func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]byte, error) {
+	b, err := c.OpenBlob(ctx, id)
 	if err != nil {
 		return nil, err
 	}
+	s, err := b.Snapshot(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	if off >= s.size || length <= 0 {
+		return nil, nil // empty blob, zero-length request, or past-EOF clamp
+	}
+	if off+length > s.size {
+		length = s.size - off
+	}
 	buf := make([]byte, length)
+	if _, err := s.ReadAtContext(ctx, buf, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readInto resolves [off, off+len(dst)) of version v into extents and
+// fetches each extent's bytes directly into the matching subslice of
+// dst — the zero-copy core of Snapshot.ReadAt: no whole-range
+// intermediate buffer exists at any point. Holes and the zero tails of
+// short blocks are cleared explicitly (dst may be a reused buffer
+// holding stale bytes). The requested range must lie inside the
+// snapshot.
+func (c *Client) readInto(ctx context.Context, m blob.Meta, v blob.Version, size, off int64, dst []byte) error {
+	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: int64(len(dst))})
+	if err != nil {
+		return err
+	}
+	fill := func(ctx context.Context, e mdtree.Extent) error {
+		sub := dst[e.FileOff-off : e.FileOff-off+e.Len]
+		if !e.HasData || len(e.Block.Providers) == 0 {
+			clear(sub) // hole or repaired-abort leaf reads as zeros
+			return nil
+		}
+		n, err := c.fetchExtentInto(ctx, e, sub)
+		if err != nil {
+			return err
+		}
+		clear(sub[n:]) // bytes past the stored block length read as zeros
+		return nil
+	}
+	if len(extents) == 1 {
+		// The common small-read case: one extent, no fan-out machinery.
+		return fill(ctx, extents[0])
+	}
 	sem := make(chan struct{}, fetchConcurrency)
 	var wg sync.WaitGroup
 	var rerrMu sync.Mutex
 	var rerr error
 	for _, e := range extents {
-		if !e.HasData || len(e.Block.Providers) == 0 {
-			continue // hole or repaired-abort leaf: stays zero
-		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(e mdtree.Extent) {
 			defer func() { <-sem; wg.Done() }()
-			data, err := c.fetchExtent(ctx, e)
-			if err != nil {
+			if err := fill(ctx, e); err != nil {
 				rerrMu.Lock()
 				if rerr == nil {
 					rerr = err
 				}
 				rerrMu.Unlock()
-				return
 			}
-			copy(buf[e.FileOff-off:e.FileOff-off+int64(len(data))], data)
 		}(e)
 	}
 	wg.Wait()
-	if rerr != nil {
-		return nil, rerr
-	}
-	return buf, nil
+	return rerr
 }
 
-// fetchExtent reads one extent. A replica co-hosted with the client is
-// tried first (Map/Reduce schedules tasks onto replica hosts expecting
-// a local read); otherwise the starting replica rotates so concurrent
-// readers spread load across the replica set instead of serializing on
-// the first address. Either way the remaining replicas serve as
-// failover.
-func (c *Client) fetchExtent(ctx context.Context, e mdtree.Extent) ([]byte, error) {
+// fetchExtentInto reads one extent into dst, returning the byte count
+// stored (a block shorter than the request leaves a zero tail for the
+// caller to clear). A replica co-hosted with the client is tried first
+// (Map/Reduce schedules tasks onto replica hosts expecting a local
+// read); otherwise the starting replica rotates so concurrent readers
+// spread load across the replica set instead of serializing on the
+// first address. Either way the remaining replicas serve as failover.
+func (c *Client) fetchExtentInto(ctx context.Context, e mdtree.Extent, dst []byte) (int, error) {
 	n := len(e.Block.Providers)
 	start := c.localReplicaIndex(ctx, e.Block.Providers)
 	if start < 0 {
@@ -562,11 +631,11 @@ func (c *Client) fetchExtent(ctx context.Context, e mdtree.Extent) ([]byte, erro
 		addr := e.Block.Providers[(start+i)%n]
 		data, err := c.prov.Get(ctx, addr, e.Block.Key, e.DataOff, e.Len)
 		if err == nil {
-			return data, nil
+			return copy(dst, data), nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("core: all replicas failed for %s: %w", e.Block.Key, lastErr)
+	return 0, fmt.Errorf("core: all replicas failed for %s: %w", e.Block.Key, lastErr)
 }
 
 // Location describes where one piece of a blob range physically lives —
@@ -580,32 +649,24 @@ type Location struct {
 }
 
 // Locations returns the block locations covering [off, off+length) of
-// version v (NoVersion = latest published).
+// version v (NoVersion = latest published). Like Read, it is a shim
+// over the Snapshot handle path: pinning a Snapshot once and calling
+// its Locations avoids re-resolving the version on every query.
 func (c *Client) Locations(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]Location, error) {
-	m, err := c.Meta(ctx, id)
+	b, err := c.OpenBlob(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	pub, pubSize, err := c.vm.Latest(ctx, id)
+	s, err := b.Snapshot(ctx, v)
 	if err != nil {
 		return nil, err
 	}
-	var size int64
-	switch {
-	case v == blob.NoVersion:
-		if pub == blob.NoVersion {
-			return nil, nil
-		}
-		v, size = pub, pubSize
-	case v > pub:
-		return nil, fmt.Errorf("%w: version %d, published %d", ErrNotPublished, v, pub)
-	default:
-		d, err := c.vm.VersionInfo(ctx, id, v)
-		if err != nil {
-			return nil, err
-		}
-		size = d.SizeAfter
-	}
+	return s.Locations(ctx, off, length)
+}
+
+// locationsAt maps a pinned (version, size) range onto provider
+// addresses and hosts.
+func (c *Client) locationsAt(ctx context.Context, m blob.Meta, v blob.Version, size, off, length int64) ([]Location, error) {
 	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: length})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"blobseer/internal/cluster"
+	"blobseer/internal/core"
+)
+
+// benchSnapshot deploys a small cluster, publishes an nBlocks-block
+// blob and returns a pinned snapshot plus the flat client.
+func benchSnapshot(b *testing.B, nBlocks int) (*core.Client, *core.Snapshot) {
+	b.Helper()
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 4,
+		MetaProviders: 2,
+		BlockSize:     B,
+		MetaCacheSize: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	ctx := context.Background()
+	c := cl.NewClient("")
+	bh, err := c.CreateBlob(ctx, B, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bh.Write(ctx, 0, pattern('b', nBlocks*B)); err != nil {
+		b.Fatal(err)
+	}
+	s, err := bh.Latest(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the immutable-node cache so both paths measure steady state.
+	buf := make([]byte, s.Size())
+	if _, err := s.ReadAt(buf, 0); err != nil && err != io.EOF {
+		b.Fatal(err)
+	}
+	return c, s
+}
+
+// BenchmarkSnapshotReadAt measures repeated pinned-snapshot reads into
+// a caller-owned buffer: zero whole-range intermediate allocations and
+// zero per-call metadata round-trips. Compare allocs/op against
+// BenchmarkFlatRead.
+func BenchmarkSnapshotReadAt(b *testing.B) {
+	const nBlocks = 8
+	_, s := benchSnapshot(b, nBlocks)
+	buf := make([]byte, s.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadAt(buf, 0); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(s.Size())
+}
+
+// BenchmarkFlatRead measures the same workload through the flat
+// compatibility shim, which allocates a fresh whole-range buffer and
+// re-resolves the version on every call.
+func BenchmarkFlatRead(b *testing.B) {
+	const nBlocks = 8
+	c, s := benchSnapshot(b, nBlocks)
+	ctx := context.Background()
+	id, v, size := s.Blob().ID(), s.Version(), s.Size()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(ctx, id, v, 0, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(size)
+}

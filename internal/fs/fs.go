@@ -10,6 +10,8 @@ import (
 	"errors"
 	"io"
 	"strings"
+
+	"blobseer/internal/stream"
 )
 
 // Errors shared by all implementations.
@@ -24,20 +26,15 @@ var (
 	// ErrClosed is the shared sentinel for any operation on a closed
 	// handle; ErrReaderClosed and ErrWriterClosed both match it under
 	// errors.Is, so callers that don't care which side was closed can
-	// test the one sentinel.
-	ErrClosed = errors.New("fs: handle is closed")
+	// test the one sentinel. The sentinels live in the shared stream
+	// engine (BSFS readers/writers ARE stream readers/writers); these
+	// aliases keep the historical fs-level names working.
+	ErrClosed = stream.ErrClosed
 	// ErrReaderClosed is returned by Read/Seek on a closed reader.
-	ErrReaderClosed error = &closedError{"reader"}
+	ErrReaderClosed = stream.ErrReaderClosed
 	// ErrWriterClosed is returned by Write on a closed writer.
-	ErrWriterClosed error = &closedError{"writer"}
+	ErrWriterClosed = stream.ErrWriterClosed
 )
-
-// closedError gives reader/writer-specific messages while remaining
-// errors.Is-compatible with the shared ErrClosed sentinel.
-type closedError struct{ what string }
-
-func (e *closedError) Error() string        { return "fs: " + e.what + " is closed" }
-func (e *closedError) Is(target error) bool { return target == ErrClosed }
 
 // FileStatus describes one namespace entry.
 type FileStatus struct {

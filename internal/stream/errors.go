@@ -1,0 +1,35 @@
+// Package stream is the shared streaming engine of the BSFS layer
+// (Section IV-B), factored out so every consumer of BlobSeer data —
+// the BSFS file system, the HDFS-comparison harness, raw-blob
+// applications through core.Snapshot/core.Blob handles — runs on one
+// implementation of sequential-access detection, bounded asynchronous
+// readahead and write-behind block commits.
+//
+// The package is storage-agnostic: a Reader pulls data through a Fetch
+// function over a pinned immutable snapshot, and a Writer pushes
+// full-block commits through WriteAt/Append hooks. core wires these to
+// Snapshot.ReadAt and Blob.Write/Blob.Append; tests wire them to
+// in-memory backends.
+package stream
+
+import "errors"
+
+// Errors shared by all streaming handles.
+var (
+	// ErrClosed is the shared sentinel for any operation on a closed
+	// handle; ErrReaderClosed and ErrWriterClosed both match it under
+	// errors.Is, so callers that don't care which side was closed can
+	// test the one sentinel.
+	ErrClosed = errors.New("stream: handle is closed")
+	// ErrReaderClosed is returned by Read/Seek on a closed reader.
+	ErrReaderClosed error = &closedError{"reader"}
+	// ErrWriterClosed is returned by Write on a closed writer.
+	ErrWriterClosed error = &closedError{"writer"}
+)
+
+// closedError gives reader/writer-specific messages while remaining
+// errors.Is-compatible with the shared ErrClosed sentinel.
+type closedError struct{ what string }
+
+func (e *closedError) Error() string        { return "stream: " + e.what + " is closed" }
+func (e *closedError) Is(target error) bool { return target == ErrClosed }

@@ -1,0 +1,350 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Fetch reads [off, off+length) of a pinned immutable snapshot and
+// returns the bytes. Implementations must be safe for concurrent calls:
+// the readahead window fetches several ranges at once.
+type Fetch func(ctx context.Context, off, length int64) ([]byte, error)
+
+// ReaderConfig wires a Reader to its snapshot.
+type ReaderConfig struct {
+	// Fetch supplies snapshot bytes (required).
+	Fetch Fetch
+	// Size is the pinned snapshot size; the stream EOFs there.
+	Size int64
+	// BlockSize is the caching and prefetch granularity.
+	BlockSize int64
+	// Readahead is the asynchronous prefetch window: up to this many
+	// blocks are fetched by background goroutines ahead of a sequential
+	// stream. <= 0 keeps reads fully synchronous — one block fetched at
+	// a time, on demand.
+	Readahead int
+	// NoCache disables block-granularity caching and prefetch entirely:
+	// every Read fetches exactly the range it still needs (ablation
+	// benches; the simulator models per-request costs).
+	NoCache bool
+}
+
+// ReadStats counts the reader-side pipeline activity (tests, tuning).
+type ReadStats struct {
+	Prefetched   int // background block fetches started ahead of pos
+	PrefetchHits int // blocks consumed out of the readahead window
+	Canceled     int // window entries dropped unconsumed by Seek/Close
+}
+
+// PipelinedReader is implemented by stream readers; callers can
+// type-assert a generic reader to observe the readahead pipeline.
+type PipelinedReader interface {
+	ReadStats() ReadStats
+}
+
+// Reader is a sequential io.ReadSeekCloser over a pinned snapshot with
+// whole-block prefetching: when the requested data is not cached, the
+// full enclosing block is fetched (Section IV-B), so a Hadoop-style
+// sequence of 4 KB reads costs one block transfer. With Readahead > 0
+// the reader also detects sequential access and keeps a bounded window
+// of blocks in flight ahead of the stream position, fetched by
+// background goroutines, so consuming block i overlaps the transfer of
+// blocks i+1..i+N.
+type Reader struct {
+	ctx       context.Context
+	fetch     Fetch
+	size      int64
+	blockSize int64
+	readahead int
+	noCache   bool
+
+	mu       sync.Mutex
+	pos      int64
+	cacheOff int64 // file offset of cached block (-1 = empty)
+	cache    []byte
+	closed   bool
+
+	nextSeq int64                // block start that would continue the sequential run (-1 = none)
+	window  map[int64]*blockLoad // block start -> in-flight or completed background fetch
+	stats   ReadStats
+}
+
+var (
+	_ io.ReadSeekCloser = (*Reader)(nil)
+	_ PipelinedReader   = (*Reader)(nil)
+)
+
+// blockLoad is one asynchronous block fetch.
+type blockLoad struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	data   []byte
+	err    error
+}
+
+// NewReader returns a reader over the snapshot described by cfg. The
+// context is pinned for the reader's lifetime: canceling it aborts all
+// outstanding fetches.
+func NewReader(ctx context.Context, cfg ReaderConfig) *Reader {
+	readahead := cfg.Readahead
+	if readahead < 0 || cfg.NoCache {
+		readahead = 0
+	}
+	return &Reader{
+		ctx:       ctx,
+		fetch:     cfg.Fetch,
+		size:      cfg.Size,
+		blockSize: cfg.BlockSize,
+		readahead: readahead,
+		noCache:   cfg.NoCache,
+		cacheOff:  -1,
+		nextSeq:   -1,
+		window:    make(map[int64]*blockLoad),
+	}
+}
+
+// errSeekRaced reports that a concurrent Seek moved the stream while a
+// pipelined fetch was waited on (the lock is released during the
+// wait); the read loop resumes from the new position.
+var errSeekRaced = errors.New("stream: seek raced a block fetch")
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrReaderClosed
+	}
+	if r.pos >= r.size {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && r.pos < r.size {
+		data, err := r.lockedFetch(r.pos)
+		if errors.Is(err, errSeekRaced) {
+			// A concurrent Seek moved the stream. Bytes already copied
+			// stay a single contiguous range (return them); otherwise
+			// resume from the position the Seek set.
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		if err != nil {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		want := min(int64(len(p)-n), r.size-r.pos)
+		c := copy(p[n:int64(n)+want], data)
+		n += c
+		r.pos += int64(c)
+		if c == 0 {
+			break
+		}
+	}
+	if n == 0 && r.pos >= r.size {
+		return 0, io.EOF // a racing Seek pushed the stream to EOF
+	}
+	return n, nil
+}
+
+// lockedFetch returns cached bytes at file offset off, loading the
+// enclosing block if needed.
+func (r *Reader) lockedFetch(off int64) ([]byte, error) {
+	blockStart := off / r.blockSize * r.blockSize
+	if r.cache == nil || r.cacheOff != blockStart || off-blockStart >= int64(len(r.cache)) {
+		length := r.blockSize
+		if blockStart+length > r.size {
+			length = r.size - blockStart
+		}
+		if r.noCache {
+			// Ablation mode: fetch only what was asked (here: to block
+			// end, since callers of lockedFetch consume incrementally;
+			// the distinction matters for the simulator, which models
+			// per-request costs).
+			return r.fetch(r.ctx, off, blockStart+length-off)
+		}
+		if r.readahead > 0 {
+			if err := r.lockedLoadPipelined(off, blockStart, length); err != nil {
+				return nil, err
+			}
+		} else {
+			data, err := r.fetch(r.ctx, blockStart, length)
+			if err != nil {
+				return nil, err
+			}
+			r.cache = data
+			r.cacheOff = blockStart
+		}
+	}
+	return r.cache[off-r.cacheOff:], nil
+}
+
+// lockedLoadPipelined installs the block at blockStart into the cache
+// through the readahead window: it consumes a background fetch if one
+// is in flight (or starts one), launches the next window of prefetches
+// when the access pattern is sequential, and waits with the lock
+// released so Seek/Close stay responsive. off is the stream position
+// the caller is serving; if a concurrent Seek moves r.pos off it while
+// the lock is down, errSeekRaced tells the read loop to resume from
+// the new position instead of mis-pairing old bytes with the new one.
+func (r *Reader) lockedLoadPipelined(off, blockStart, length int64) error {
+	f, hit := r.window[blockStart]
+	if !hit {
+		f = r.startFetch(blockStart, length)
+		r.window[blockStart] = f
+	} else {
+		r.stats.PrefetchHits++
+	}
+
+	// Sequential-access detection: the run continues (or starts at the
+	// beginning of the file). Top the window back up before blocking on
+	// the current block so the pipeline never drains.
+	if blockStart == 0 || blockStart == r.nextSeq {
+		for next := blockStart + r.blockSize; next < r.size && next <= blockStart+int64(r.readahead)*r.blockSize; next += r.blockSize {
+			if _, ok := r.window[next]; ok {
+				continue
+			}
+			ln := min(r.blockSize, r.size-next)
+			r.window[next] = r.startFetch(next, ln)
+			r.stats.Prefetched++
+		}
+	}
+	r.nextSeq = blockStart + r.blockSize
+
+	// Blocks behind the stream position are dead weight: cancel them.
+	r.lockedPruneBehind(blockStart)
+
+	for attempt := 0; ; attempt++ {
+		r.mu.Unlock()
+		<-f.done
+		r.mu.Lock()
+		if r.closed {
+			return ErrReaderClosed
+		}
+		if r.window[blockStart] == f {
+			delete(r.window, blockStart)
+		}
+		if f.err == nil {
+			r.cache = f.data
+			r.cacheOff = blockStart
+			if r.pos != off {
+				return errSeekRaced // block kept cached; serve the new pos
+			}
+			return nil
+		}
+		if r.pos != off {
+			return errSeekRaced
+		}
+		// A prefetch canceled by a concurrent Seek (whose target then
+		// turned out to need this block after all) is not a stream
+		// error: retry once in the foreground.
+		if attempt > 0 || !errors.Is(f.err, context.Canceled) || r.ctx.Err() != nil {
+			return f.err
+		}
+		f = r.startFetch(blockStart, length)
+		r.window[blockStart] = f
+	}
+}
+
+// startFetch launches a background fetch of [blockStart,
+// blockStart+length) with its own cancelable context.
+func (r *Reader) startFetch(blockStart, length int64) *blockLoad {
+	fctx, cancel := context.WithCancel(r.ctx)
+	f := &blockLoad{done: make(chan struct{}), cancel: cancel}
+	go func() {
+		defer close(f.done)
+		f.data, f.err = r.fetch(fctx, blockStart, length)
+		cancel()
+	}()
+	return f
+}
+
+// lockedCancelWindow aborts every outstanding background fetch.
+func (r *Reader) lockedCancelWindow() {
+	for start, f := range r.window {
+		f.cancel()
+		delete(r.window, start)
+		r.stats.Canceled++
+	}
+	r.nextSeq = -1
+}
+
+// lockedPruneBehind aborts window fetches strictly behind blockStart,
+// keeping the warm entries ahead of it.
+func (r *Reader) lockedPruneBehind(blockStart int64) {
+	for start, f := range r.window {
+		if start < blockStart {
+			f.cancel()
+			delete(r.window, start)
+			r.stats.Canceled++
+		}
+	}
+}
+
+// Seek implements io.Seeker. Seeking away from the run cancels the
+// readahead window: prefetches issued for the abandoned run are
+// aborted rather than left to fetch blocks the stream no longer
+// wants. A seek whose target is still in hand — inside the cached
+// block or a prefetched window entry — keeps the warm pipeline and
+// only drops entries the stream has passed.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrReaderClosed
+	}
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("stream: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("stream: negative seek position %d", abs)
+	}
+	if abs != r.pos {
+		newBlock := abs / r.blockSize * r.blockSize
+		switch {
+		case r.cache != nil && r.cacheOff == newBlock:
+			r.lockedPruneBehind(newBlock)
+		case r.window[newBlock] != nil:
+			r.lockedPruneBehind(newBlock)
+			r.nextSeq = newBlock // the run continues on the prefetched block
+		default:
+			r.lockedCancelWindow()
+		}
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// Close implements io.Closer.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lockedCancelWindow()
+	r.closed = true
+	r.cache = nil
+	return nil
+}
+
+// Size returns the pinned snapshot size.
+func (r *Reader) Size() int64 { return r.size }
+
+// ReadStats implements PipelinedReader.
+func (r *Reader) ReadStats() ReadStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

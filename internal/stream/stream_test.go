@@ -1,0 +1,418 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blobseer/internal/stream"
+)
+
+const B = 4 * 1024
+
+func pattern(tag byte, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = tag ^ byte(i*13)
+	}
+	return d
+}
+
+// memSource is an in-memory snapshot with per-fetch accounting and an
+// optional per-fetch failure hook.
+type memSource struct {
+	data    []byte
+	fetches atomic.Int64
+	fail    atomic.Bool
+}
+
+func (m *memSource) fetch(ctx context.Context, off, length int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if m.fail.Load() {
+		return nil, errors.New("memSource: injected fetch failure")
+	}
+	m.fetches.Add(1)
+	end := off + length
+	if end > int64(len(m.data)) {
+		return nil, fmt.Errorf("memSource: fetch [%d,+%d) past size %d", off, length, len(m.data))
+	}
+	return append([]byte(nil), m.data[off:end]...), nil
+}
+
+func (m *memSource) reader(readahead int) *stream.Reader {
+	return stream.NewReader(context.Background(), stream.ReaderConfig{
+		Fetch:     m.fetch,
+		Size:      int64(len(m.data)),
+		BlockSize: B,
+		Readahead: readahead,
+	})
+}
+
+// memSink is an in-memory blob accepting offset writes and appends.
+type memSink struct {
+	mu      sync.Mutex
+	data    []byte
+	commits []string // op log: "w@off:len" / "a:len"
+	failPfx atomic.Bool
+}
+
+func (m *memSink) writeAt(ctx context.Context, off int64, p []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.failPfx.Load() {
+		return errors.New("memSink: injected commit failure")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if need := off + int64(len(p)); int64(len(m.data)) < need {
+		m.data = append(m.data, make([]byte, need-int64(len(m.data)))...)
+	}
+	copy(m.data[off:], p)
+	m.commits = append(m.commits, fmt.Sprintf("w@%d:%d", off, len(p)))
+	return nil
+}
+
+func (m *memSink) append(ctx context.Context, p []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.failPfx.Load() {
+		return errors.New("memSink: injected commit failure")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = append(m.data, p...)
+	m.commits = append(m.commits, fmt.Sprintf("a:%d", len(p)))
+	return nil
+}
+
+func (m *memSink) bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data...)
+}
+
+func (m *memSink) writer(depth int, start func(ctx context.Context) (stream.StartState, error)) *stream.Writer {
+	return stream.NewWriter(context.Background(), stream.WriterConfig{
+		BlockSize: B,
+		Depth:     depth,
+		Start:     start,
+		WriteAt:   m.writeAt,
+		Append:    m.append,
+	})
+}
+
+// TestReaderSequentialPipelined: a sequential stream through a wide
+// window returns exact bytes and actually uses the readahead pipeline.
+func TestReaderSequentialPipelined(t *testing.T) {
+	src := &memSource{data: pattern('r', 7*B+321)}
+	r := src.reader(3)
+	defer r.Close()
+	var got []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src.data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(src.data))
+	}
+	st := r.ReadStats()
+	if st.Prefetched == 0 || st.PrefetchHits == 0 {
+		t.Errorf("sequential stream should use the readahead window, stats = %+v", st)
+	}
+}
+
+// TestReaderSeekCancelsWindow: seeking away from a warm run drops and
+// cancels the unconsumed prefetches.
+func TestReaderSeekCancelsWindow(t *testing.T) {
+	src := &memSource{data: pattern('s', 8*B)}
+	r := src.reader(3)
+	defer r.Close()
+	buf := make([]byte, 100)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.ReadStats(); st.Prefetched == 0 {
+		t.Fatalf("sequential start should prefetch, stats = %+v", st)
+	}
+	if _, err := r.Seek(7*B, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.ReadStats(); st.Canceled == 0 {
+		t.Errorf("Seek away should cancel the window, stats = %+v", st)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src.data[7*B:]) {
+		t.Error("read after seek mismatch")
+	}
+}
+
+// TestReaderNoCacheFetchesExactRanges: ablation mode bypasses the block
+// cache entirely — every Read fetches at request granularity.
+func TestReaderNoCacheFetchesExactRanges(t *testing.T) {
+	src := &memSource{data: pattern('n', 2*B)}
+	r := stream.NewReader(context.Background(), stream.ReaderConfig{
+		Fetch:     src.fetch,
+		Size:      int64(len(src.data)),
+		BlockSize: B,
+		Readahead: 4, // NoCache wins: forced synchronous
+		NoCache:   true,
+	})
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src.data) {
+		t.Fatal("nocache round trip mismatch")
+	}
+	if st := r.ReadStats(); st.Prefetched != 0 {
+		t.Errorf("NoCache reader prefetched %d blocks, want 0", st.Prefetched)
+	}
+}
+
+// TestReaderClosedSemantics: Read and Seek on a closed reader return
+// ErrReaderClosed, matching the shared ErrClosed sentinel.
+func TestReaderClosedSemantics(t *testing.T) {
+	src := &memSource{data: pattern('c', B)}
+	r := src.reader(0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(make([]byte, 8)); !errors.Is(err, stream.ErrReaderClosed) || !errors.Is(err, stream.ErrClosed) {
+		t.Errorf("Read after Close = %v, want ErrReaderClosed matching ErrClosed", err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); !errors.Is(err, stream.ErrReaderClosed) {
+		t.Errorf("Seek after Close = %v, want ErrReaderClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+// TestWriterOffsetModeCommitsAlignedBlocks: an offset stream commits
+// whole blocks at block-aligned offsets plus one final partial block.
+func TestWriterOffsetModeCommitsAlignedBlocks(t *testing.T) {
+	sink := &memSink{}
+	w := sink.writer(0, nil)
+	data := pattern('o', 3*B+100)
+	for off := 0; off < len(data); off += 777 {
+		end := min(off+777, len(data))
+		if _, err := w.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.bytes(), data) {
+		t.Fatal("offset stream content mismatch")
+	}
+	for _, c := range sink.commits {
+		var off, ln int
+		if _, err := fmt.Sscanf(c, "w@%d:%d", &off, &ln); err != nil {
+			t.Fatalf("unexpected commit op %q", c)
+		}
+		if off%B != 0 {
+			t.Errorf("unaligned commit %q", c)
+		}
+	}
+}
+
+// TestWriterWriteBehindParity: the same stream through depth-0 and
+// deep windows produces identical content (the old bsfs-internal
+// pipeline's ablation contract, now pinned at the engine level).
+func TestWriterWriteBehindParity(t *testing.T) {
+	data := pattern('p', 5*B+1234)
+	run := func(depth int) []byte {
+		sink := &memSink{}
+		w := sink.writer(depth, nil)
+		for off := 0; off < len(data); off += 4096 {
+			end := min(off+4096, len(data))
+			if _, err := w.Write(data[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.bytes()
+	}
+	syncBytes := run(0)
+	pipeBytes := run(4)
+	if !bytes.Equal(syncBytes, data) || !bytes.Equal(pipeBytes, data) {
+		t.Fatal("content mismatch against source")
+	}
+}
+
+// TestWriterAppendModeSingleWorkerOrdered: append-mode write-behind
+// must keep commit order (one worker), so the sink's append log is the
+// stream's block order.
+func TestWriterAppendModeSingleWorkerOrdered(t *testing.T) {
+	sink := &memSink{}
+	start := func(ctx context.Context) (stream.StartState, error) {
+		return stream.StartState{OffsetMode: false}, nil
+	}
+	w := sink.writer(3, start)
+	data := pattern('q', 6*B)
+	for off := 0; off < len(data); off += 999 {
+		end := min(off+999, len(data))
+		if _, err := w.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.bytes(), data) {
+		t.Fatal("append stream out of order or corrupted")
+	}
+}
+
+// TestWriterStartPrefixMerge: the Start hook's prefix (the unaligned-
+// tail read-modify-write merge) lands exactly once at the start offset.
+func TestWriterStartPrefixMerge(t *testing.T) {
+	tail := pattern('t', 100)
+	sink := &memSink{}
+	// Pre-existing content: one full block plus the unaligned tail.
+	if err := sink.writeAt(context.Background(), 0, pattern('x', B)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.writeAt(context.Background(), B, tail); err != nil {
+		t.Fatal(err)
+	}
+	start := func(ctx context.Context) (stream.StartState, error) {
+		return stream.StartState{OffsetMode: true, Off: B, Prefix: tail}, nil
+	}
+	w := sink.writer(2, start)
+	added := pattern('z', 2*B)
+	if _, err := w.Write(added); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append([]byte(nil), pattern('x', B)...), tail...), added...)
+	if !bytes.Equal(sink.bytes(), want) {
+		t.Fatal("prefix merge mismatch")
+	}
+}
+
+// TestWriterErrorLatchedAndCloseContract: a background commit failure
+// surfaces on a later Write, and every subsequent Close keeps
+// reporting it; a failed final flush never latches success.
+func TestWriterErrorLatchedAndCloseContract(t *testing.T) {
+	sink := &memSink{}
+	w := sink.writer(2, nil)
+	if _, err := w.Write(pattern('e', B)); err != nil {
+		t.Fatal(err)
+	}
+	sink.failPfx.Store(true)
+	var werr error
+	for i := 0; i < 64 && werr == nil; i++ {
+		_, werr = w.Write(pattern('e', B))
+	}
+	if werr == nil {
+		// The window may have committed everything before the injection;
+		// the error must then surface on Close.
+		if err := w.Close(); err == nil {
+			t.Fatal("commit failure never surfaced on Write or Close")
+		}
+	} else {
+		first := w.Close()
+		if first == nil {
+			t.Fatal("Close after latched error returned nil")
+		}
+		if second := w.Close(); second == nil {
+			t.Fatal("repeat Close dropped the latched error")
+		}
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after failed Close returned nil")
+	}
+
+	// Synchronous tail-loss pin: a failing final flush keeps failing on
+	// repeat Close instead of silently reporting the tail durable.
+	sink2 := &memSink{}
+	w2 := sink2.writer(0, nil)
+	if _, err := w2.Write(pattern('f', B/2)); err != nil {
+		t.Fatal(err)
+	}
+	sink2.failPfx.Store(true)
+	if err := w2.Close(); err == nil {
+		t.Fatal("Close with failing flush returned nil")
+	}
+	if err := w2.Close(); err == nil {
+		t.Fatal("repeat Close after failed flush returned nil (tail silently lost)")
+	}
+	// A failed Close does NOT latch the writer closed: the unflushed
+	// tail is preserved and retrying is allowed once the fault clears.
+	sink2.failPfx.Store(false)
+	if err := w2.Close(); err != nil {
+		t.Fatalf("retried Close after fault cleared = %v", err)
+	}
+	if !bytes.Equal(sink2.bytes(), pattern('f', B/2)) {
+		t.Fatal("retried Close lost the tail")
+	}
+	if _, err := w2.Write([]byte("x")); !errors.Is(err, stream.ErrWriterClosed) {
+		t.Fatalf("Write after successful Close = %v, want ErrWriterClosed", err)
+	}
+}
+
+// TestReaderConcurrentSeekReadRace exercises Seek racing Read under
+// the race detector at the engine level (no cluster underneath).
+func TestReaderConcurrentSeekReadRace(t *testing.T) {
+	src := &memSource{data: pattern('R', 8*B)}
+	r := src.reader(3)
+	defer r.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		offs := []int64{5 * B, 0, 3 * B, 7 * B, B, 6 * B, 2 * B, 4 * B}
+		for round := 0; round < 10; round++ {
+			for _, off := range offs {
+				if _, err := r.Seek(off, io.SeekStart); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	buf := make([]byte, 4096)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			select {
+			case <-done:
+				return
+			default:
+				if _, err := r.Seek(0, io.SeekStart); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package vmanager
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/blob"
@@ -123,6 +124,7 @@ func MetadataRepairer(st mdtree.Store) Repairer {
 // Service is the RPC shell around State, plus the dead-writer janitor.
 type Service struct {
 	state *State
+	calls atomic.Int64
 
 	stopJanitor chan struct{}
 }
@@ -134,6 +136,19 @@ func NewService(state *State) *Service {
 
 // State exposes the core (simulator, tests).
 func (s *Service) State() *State { return s.state }
+
+// Calls reports the cumulative RPC dispatch count — the metadata
+// round-trips clients have charged this version manager. Regression
+// tests pin it: reads against a pinned core.Snapshot must not grow it.
+func (s *Service) Calls() int64 { return s.calls.Load() }
+
+// counted wraps a handler with the dispatch counter.
+func (s *Service) counted(fn rpc.HandlerFunc) rpc.HandlerFunc {
+	return func(p []byte) ([]byte, error) {
+		s.calls.Add(1)
+		return fn(p)
+	}
+}
 
 // StartJanitor aborts writes stuck in flight longer than maxAge,
 // checking every interval. Stop with StopJanitor.
@@ -167,17 +182,17 @@ func (s *Service) StopJanitor() {
 // Mux returns the RPC dispatch table.
 func (s *Service) Mux() *rpc.Mux {
 	m := rpc.NewMux()
-	m.Handle(mCreateBlob, s.handleCreate)
-	m.Handle(mGetMeta, s.handleGetMeta)
-	m.Handle(mAssignVersion, s.handleAssign)
-	m.Handle(mCommit, s.handleCommit)
-	m.Handle(mAbort, s.handleAbort)
-	m.Handle(mLatest, s.handleLatest)
-	m.Handle(mVersionInfo, s.handleVersionInfo)
-	m.Handle(mHistory, s.handleHistory)
-	m.Handle(mWaitPublished, s.handleWait)
-	m.Handle(mListBlobs, s.handleListBlobs)
-	m.Handle(mPrune, s.handlePrune)
+	m.Handle(mCreateBlob, s.counted(s.handleCreate))
+	m.Handle(mGetMeta, s.counted(s.handleGetMeta))
+	m.Handle(mAssignVersion, s.counted(s.handleAssign))
+	m.Handle(mCommit, s.counted(s.handleCommit))
+	m.Handle(mAbort, s.counted(s.handleAbort))
+	m.Handle(mLatest, s.counted(s.handleLatest))
+	m.Handle(mVersionInfo, s.counted(s.handleVersionInfo))
+	m.Handle(mHistory, s.counted(s.handleHistory))
+	m.Handle(mWaitPublished, s.counted(s.handleWait))
+	m.Handle(mListBlobs, s.counted(s.handleListBlobs))
+	m.Handle(mPrune, s.counted(s.handlePrune))
 	return m
 }
 

@@ -122,6 +122,19 @@ func BenchmarkAblationReplication(b *testing.B) {
 	report(b, out)
 }
 
+// BenchmarkAblationRepair measures the kill-provider availability
+// experiment: R=3 chunk readers healthy, after one provider dies, and
+// after three die — with and without the self-healing repair pass in
+// between. The lost-blocks series is the availability claim: self-heal
+// keeps it at zero through failures that strip every original replica.
+func BenchmarkAblationRepair(b *testing.B) {
+	var out []bench.Series
+	for i := 0; i < b.N; i++ {
+		out = bench.AblationRepair(64, 16)
+	}
+	report(b, out)
+}
+
 // BenchmarkAblationStreaming measures the client streaming pipeline on
 // the simulated paper topology: a 16 x 64 MB stream written and read
 // with the readahead/write-behind window at 0 (the synchronous client)

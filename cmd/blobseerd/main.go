@@ -10,6 +10,15 @@
 //	blobseerd -role provider  -listen 127.0.0.1:7201 -pmanager 127.0.0.1:7002 -host host-0
 //	blobseerd -role provider  -listen 127.0.0.1:7202 -pmanager 127.0.0.1:7002 -host host-1
 //
+// The self-healing plane adds two moving parts: providers heartbeat
+// their store statistics to the provider manager (-heartbeat), which
+// expires silent ones (-expire-after), and a repair daemon restores
+// replication after provider loss:
+//
+//	blobseerd -role pmanager -listen 127.0.0.1:7002 -expire-after 15s
+//	blobseerd -role repair   -vmanager 127.0.0.1:7001 -pmanager 127.0.0.1:7002 \
+//	          -meta 127.0.0.1:7101,127.0.0.1:7102 -repair-interval 30s
+//
 // The baseline file system uses the namenode/datanode roles instead:
 //
 //	blobseerd -role namenode -listen 127.0.0.1:8001 -block-size 67108864
@@ -37,6 +46,7 @@ import (
 	"blobseer/internal/placement"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
+	"blobseer/internal/repair"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
 	"blobseer/internal/util"
@@ -45,7 +55,7 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", "daemon role: vmanager | pmanager | provider | meta | namespace | namenode | datanode")
+		role     = flag.String("role", "", "daemon role: vmanager | pmanager | provider | meta | namespace | repair | namenode | datanode")
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		metas    = flag.String("meta", "", "comma-separated metadata provider addresses (vmanager: abort repair; required for -role vmanager unless -no-repair)")
 		metaRepl = flag.Int("meta-replication", 1, "DHT replication level (vmanager repair path)")
@@ -62,6 +72,10 @@ func main() {
 		stickyW  = flag.Int("sticky-window", 8, "sticky placement window (namenode's HDFS-0.20-like clustering)")
 		blockSz  = flag.Int64("block-size", 64*util.MB, "chunk size in bytes (namenode)")
 		wtimeout = flag.Duration("write-timeout", 0, "vmanager: abort writers silent for this long (0 disables the janitor)")
+		hbEvery  = flag.Duration("heartbeat", 5*time.Second, "provider: heartbeat interval to the provider manager (0 disables)")
+		expire   = flag.Duration("expire-after", 0, "pmanager: mark providers silent this long dead (0 disables the liveness loop)")
+		repEvery = flag.Duration("repair-interval", 30*time.Second, "repair: scan-and-repair period")
+		repConc  = flag.Int("repair-concurrency", 0, "repair: parallel block repairs (0 = default)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -99,9 +113,41 @@ func main() {
 		}
 	}
 
+	// The repair daemon serves no RPC: it is a pure client of the
+	// version manager, provider manager, metadata DHT and providers,
+	// looping scan-and-repair until stopped.
+	if *role == "repair" {
+		if *vmAddr == "" || *pmAddr == "" || *metas == "" {
+			log.Fatal("repair: -vmanager, -pmanager and -meta are required")
+		}
+		if *repEvery <= 0 {
+			log.Fatal("repair: -repair-interval must be positive")
+		}
+		pool := rpc.NewPool(rpc.TCPDialer)
+		ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
+		dhtClient := dht.NewClient(ring, pool, *metaRepl)
+		eng := repair.New(repair.Config{
+			VM:          vmanager.NewClient(pool, *vmAddr),
+			PM:          pmanager.NewClient(pool, *pmAddr),
+			Prov:        provider.NewClient(pool),
+			Meta:        mdtree.MaybeCache(mdtree.NewDHTStore(dhtClient), *metaCach),
+			Overlay:     repair.NewOverlay(dhtClient),
+			Concurrency: *repConc,
+		})
+		eng.Start(*repEvery)
+		log.Printf("repair loop running (every %s)", *repEvery)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down")
+		eng.Stop()
+		return
+	}
+
 	var (
 		mux     *rpc.Mux
 		cleanup func()
+		provSvc *provider.Service
 	)
 	switch *role {
 	case "meta":
@@ -126,7 +172,12 @@ func main() {
 		mux = svc.Mux()
 
 	case "pmanager":
-		mux = pmanager.NewService(pmanager.NewState(newStrategy())).Mux()
+		svc := pmanager.NewService(pmanager.NewState(newStrategy()))
+		if *expire > 0 {
+			svc.StartExpiry(*expire, *expire/2)
+			cleanup = svc.StopExpiry
+		}
+		mux = svc.Mux()
 
 	case "namespace":
 		if *vmAddr == "" {
@@ -139,7 +190,8 @@ func main() {
 	case "provider":
 		// Providers forward chain frames to downstream replicas over
 		// their own TCP pool.
-		mux = provider.NewService(newStore(), provider.WithForwarder(rpc.NewPool(rpc.TCPDialer))).Mux()
+		provSvc = provider.NewService(newStore(), provider.WithForwarder(rpc.NewPool(rpc.TCPDialer)))
+		mux = provSvc.Mux()
 
 	case "datanode":
 		mux = provider.NewService(newStore()).Mux()
@@ -173,10 +225,39 @@ func main() {
 			log.Fatal("provider: -pmanager is required")
 		}
 		pool := rpc.NewPool(rpc.TCPDialer)
-		if err := pmanager.NewClient(pool, *pmAddr).Register(ctx, addr, *host); err != nil {
+		pm := pmanager.NewClient(pool, *pmAddr)
+		if err := pm.Register(ctx, addr, *host); err != nil {
 			log.Fatalf("register with provider manager %s: %v", *pmAddr, err)
 		}
 		log.Printf("registered with provider manager %s as host %q", *pmAddr, *host)
+		if *hbEvery > 0 {
+			// The liveness loop: heartbeats carry live store statistics
+			// so the manager's listings track what the provider actually
+			// holds, and going silent for the manager's expiry window
+			// drops this provider from the allocation pool.
+			go func() {
+				t := time.NewTicker(*hbEvery)
+				defer t.Stop()
+				for range t.C {
+					hctx, cancel := context.WithTimeout(context.Background(), *hbEvery)
+					known, err := pm.Heartbeat(hctx, addr, provSvc.Store().Stats())
+					switch {
+					case err != nil:
+						log.Printf("heartbeat to %s: %v", *pmAddr, err)
+					case !known:
+						// The manager restarted and lost its membership:
+						// re-register so the allocation pool recovers
+						// without restarting every provider.
+						if err := pm.Register(hctx, addr, *host); err != nil {
+							log.Printf("re-register with %s: %v", *pmAddr, err)
+						} else {
+							log.Printf("re-registered with provider manager %s", *pmAddr)
+						}
+					}
+					cancel()
+				}
+			}()
+		}
 	case "datanode":
 		if *nnAddr == "" {
 			log.Fatal("datanode: -namenode is required")

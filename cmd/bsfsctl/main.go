@@ -17,6 +17,8 @@
 //	bsfsctl [conn flags] prune 3 /data/input                # GC versions < 3
 //	bsfsctl [conn flags] mv /data/input /data/old
 //	bsfsctl [conn flags] rm -r /data
+//	bsfsctl [conn flags] providers                # membership, liveness, repair backlog
+//	bsfsctl [conn flags] decommission 127.0.0.1:7201  # drain, then retire
 //
 // Connection flags:
 //
@@ -35,14 +37,20 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
 	"blobseer/internal/blob"
 	"blobseer/internal/bsfs"
 	"blobseer/internal/core"
 	"blobseer/internal/dht"
 	"blobseer/internal/mdtree"
 	"blobseer/internal/namespace"
+	"blobseer/internal/pmanager"
+	"blobseer/internal/provider"
+	"blobseer/internal/repair"
 	"blobseer/internal/rpc"
 	"blobseer/internal/util"
+	"blobseer/internal/vmanager"
 )
 
 func usage() {
@@ -64,6 +72,8 @@ commands:
   prune <keep> <path>      garbage-collect versions below <keep>
   cp [-w N] <src> <dst>    parallel server-side copy with N workers
   locations <path>         show the block->host layout
+  providers                show provider membership, liveness and repair backlog
+  decommission <addr>      drain a provider's blocks, then retire it
 
 flags:
 `)
@@ -107,16 +117,42 @@ func main() {
 	pool := rpc.NewPool(rpc.TCPDialer)
 	defer pool.Close()
 	ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
+	dhtClient := dht.NewClient(ring, pool, *mrepl)
+	overlay := repair.NewOverlay(dhtClient)
+	metaStore := mdtree.NewDHTStore(dhtClient)
+
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	// The maintenance commands speak to the managers directly — no
+	// file-system layer involved.
+	switch cmd {
+	case "providers", "decommission":
+		eng := repair.New(repair.Config{
+			VM:      vmanager.NewClient(pool, *vmAddr),
+			PM:      pmanager.NewClient(pool, *pmAddr),
+			Prov:    provider.NewClient(pool),
+			Meta:    mdtree.MaybeCache(metaStore, *mcache),
+			Overlay: overlay,
+		})
+		pm := pmanager.NewClient(pool, *pmAddr)
+		if err := runAdmin(ctx, pm, eng, cmd, args); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fsys, err := bsfs.New(bsfs.Config{
 		Core: core.NewClient(core.Config{
 			Pool:          pool,
 			VMAddr:        *vmAddr,
 			PMAddr:        *pmAddr,
-			MetaStore:     mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl)),
+			MetaStore:     metaStore,
 			Host:          *host,
 			MetaCacheSize: *mcache,
 			DataPlane:     dataPlane,
 			FrameSize:     *frame,
+			Overlay:       overlay,
 		}),
 		NS:               namespace.NewClient(pool, *nsAddr),
 		BlockSize:        *blockSz,
@@ -128,12 +164,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	ctx := context.Background()
-	cmd, args := flag.Arg(0), flag.Args()[1:]
 	if err := run(ctx, fsys, cmd, args); err != nil {
 		fatal(err)
 	}
+}
+
+// runAdmin handles the membership/repair commands.
+func runAdmin(ctx context.Context, pm *pmanager.Client, eng *repair.Engine, cmd string, args []string) error {
+	switch cmd {
+	case "providers":
+		if len(args) != 0 {
+			return fmt.Errorf("providers: no arguments expected")
+		}
+		infos, err := pm.List(ctx)
+		if err != nil {
+			return err
+		}
+		// One combined metadata walk: the repair work list (backlog) and
+		// the inventory audit (strays) share the scan.
+		tasks, orphans, err := eng.Status(ctx)
+		if err != nil {
+			return err
+		}
+		// Backlog per provider: blocks whose under-replication involves
+		// this provider as a (possibly sole) remaining holder or source.
+		backlog := make(map[string]int)
+		for _, t := range tasks {
+			for _, a := range t.Sources {
+				backlog[a]++
+			}
+		}
+		fmt.Printf("%-24s %-12s %8s %12s %6s %9s %8s %6s\n",
+			"ADDRESS", "HOST", "BLOCKS", "BYTES", "ALIVE", "DRAINING", "BACKLOG", "STRAY")
+		for _, in := range infos {
+			fmt.Printf("%-24s %-12s %8d %12d %6v %9v %8d %6d\n",
+				in.Addr, in.Host, in.Blocks, in.Bytes, in.Alive, in.Draining, backlog[in.Addr], orphans[in.Addr])
+		}
+		fmt.Printf("repair backlog: %d under-replicated block(s)\n", len(tasks))
+		return nil
+
+	case "decommission":
+		if len(args) != 1 {
+			return fmt.Errorf("decommission: want <provider-addr>")
+		}
+		rep, err := eng.Decommission(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decommissioned %s: %d block(s) re-replicated (%d copies) in %s; provider retired\n",
+			args[0], rep.UnderReplicated, rep.Copies, rep.Elapsed.Round(time.Millisecond))
+		return nil
+	}
+	return fmt.Errorf("unknown admin command %q", cmd)
 }
 
 func run(ctx context.Context, fsys *bsfs.FS, cmd string, args []string) error {

@@ -93,6 +93,8 @@ func main() {
 			bench.AblationBlockSize(4, []int{16, 32, 64, 128})))
 		fmt.Println(bench.Table("Ablation — replication level (4 GB single writer)",
 			bench.AblationReplication(4, []int{1, 2, 3})))
+		fmt.Println(bench.Table("Ablation — self-healing repair (R=3, 64 blocks, 16 providers, kill 1 then 3)",
+			bench.AblationRepair(64, 16)))
 		return
 	}
 

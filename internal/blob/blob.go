@@ -86,6 +86,28 @@ func (k BlockKey) WritePrefix() string {
 	return fmt.Sprintf("b%d/%x/", k.Blob, k.Nonce)
 }
 
+// KeyPrefix is the first byte of every serialized BlockKey — the store
+// namespace holding block payloads (metadata nodes live under "t").
+// Block reports enumerate it.
+const KeyPrefix = "b"
+
+// ParseBlockKey inverts BlockKey.String: it parses a store key of the
+// form "b<blob>/<nonce hex>/<seq>" back into its components. Provider
+// block reports round-trip their inventory through this.
+func ParseBlockKey(s string) (BlockKey, error) {
+	var k BlockKey
+	if len(s) < 2 || s[0] != 'b' {
+		return k, fmt.Errorf("blob: malformed block key %q", s)
+	}
+	if _, err := fmt.Sscanf(s[1:], "%d/%x/%d", &k.Blob, &k.Nonce, &k.Seq); err != nil {
+		return k, fmt.Errorf("blob: malformed block key %q: %w", s, err)
+	}
+	if k.String() != s {
+		return k, fmt.Errorf("blob: malformed block key %q", s)
+	}
+	return k, nil
+}
+
 // Meta is the per-blob static configuration fixed at creation time.
 type Meta struct {
 	ID          ID

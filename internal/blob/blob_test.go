@@ -253,6 +253,27 @@ func TestBlockKeyString(t *testing.T) {
 	}
 }
 
+func TestParseBlockKeyRoundTrip(t *testing.T) {
+	keys := []BlockKey{
+		{Blob: 1, Nonce: 0, Seq: 0},
+		{Blob: 7, Nonce: 0xff, Seq: 3},
+		{Blob: 1<<64 - 1, Nonce: 1<<64 - 1, Seq: 1<<32 - 1},
+		{Blob: 42, Nonce: 0xdeadbeef, Seq: 12345},
+	}
+	for _, k := range keys {
+		got, err := ParseBlockKey(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseBlockKey(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	bad := []string{"", "b", "x7/ff/3", "b7/ff", "b7/ff/3/4", "b7/ff/3x", "t1/2/0/4", "b7/fg/3"}
+	for _, s := range bad {
+		if _, err := ParseBlockKey(s); err == nil {
+			t.Errorf("ParseBlockKey(%q) accepted malformed key", s)
+		}
+	}
+}
+
 func TestBlockKeyWritePrefix(t *testing.T) {
 	w := BlockKey{Blob: 1, Nonce: 0x1}
 	// The prefix matches every seq of the same write...

@@ -7,8 +7,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"blobseer/internal/bsfs"
@@ -19,6 +21,7 @@ import (
 	"blobseer/internal/placement"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
+	"blobseer/internal/repair"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
 	"blobseer/internal/util"
@@ -43,6 +46,15 @@ type Config struct {
 	ReadaheadBlocks  int  // reader async prefetch window, in blocks
 	WriteBehindDepth int  // writer background commits in flight
 	DisableCache     bool // ablation: no block cache, no pipeline
+
+	// Self-healing replication (the repair plane). Heartbeats and the
+	// expiry ticker form the liveness loop; the repair engine restores
+	// redundancy after provider loss. All three default off so the
+	// paper-faithful experiments keep their exact traffic shape.
+	HeartbeatInterval time.Duration // providers heartbeat store stats to the pmanager (0 disables)
+	ExpireAfter       time.Duration // pmanager expires providers silent this long (0 disables)
+	RepairInterval    time.Duration // background repair scan period (0 = on-demand via RepairEngine only)
+	RepairConcurrency int           // parallel block repairs (0 = repair.DefaultConcurrency)
 }
 
 func (c *Config) fill() {
@@ -82,6 +94,7 @@ type BlobSeer struct {
 	ProviderAddrs []string
 	MetaAddrs     []string
 	MetaStore     mdtree.Store
+	Overlay       *repair.Overlay
 
 	vmSvc    *vmanager.Service
 	pmSvc    *pmanager.Service
@@ -89,8 +102,14 @@ type BlobSeer struct {
 	provSvcs map[string]*provider.Service
 	metaSvcs map[string]*dht.MetaService
 
-	net     *rpc.InprocNetwork
-	servers []*rpc.Server
+	repairEng *repair.Engine
+
+	net       *rpc.InprocNetwork
+	servers   []*rpc.Server
+	srvByAddr map[string]*rpc.Server
+
+	heartbeatMu   sync.Mutex
+	stopHeartbeat map[string]chan struct{} // per-provider heartbeat loops
 }
 
 // listenerFactory abstracts inproc vs TCP endpoints.
@@ -100,9 +119,11 @@ type listenerFactory func(name string) (net.Listener, string, error)
 func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	cfg.fill()
 	c := &BlobSeer{
-		Cfg:      cfg,
-		provSvcs: make(map[string]*provider.Service),
-		metaSvcs: make(map[string]*dht.MetaService),
+		Cfg:           cfg,
+		provSvcs:      make(map[string]*provider.Service),
+		metaSvcs:      make(map[string]*dht.MetaService),
+		srvByAddr:     make(map[string]*rpc.Server),
+		stopHeartbeat: make(map[string]chan struct{}),
 	}
 
 	var listen listenerFactory
@@ -134,6 +155,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		}
 		srv := rpc.NewServer(mux)
 		c.servers = append(c.servers, srv)
+		c.srvByAddr[addr] = srv
 		go srv.Serve(lis)
 		return addr, nil
 	}
@@ -150,7 +172,11 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		c.metaSvcs[addr] = svc
 	}
 	ring := dht.NewRing(c.MetaAddrs, dht.DefaultVnodes)
-	c.MetaStore = mdtree.NewDHTStore(dht.NewClient(ring, c.Pool, cfg.MetaReplication))
+	dhtClient := dht.NewClient(ring, c.Pool, cfg.MetaReplication)
+	c.MetaStore = mdtree.NewDHTStore(dhtClient)
+	// The location overlay shares the metadata DHT: relocation records
+	// are tiny KV entries under their own namespace.
+	c.Overlay = repair.NewOverlay(dhtClient)
 
 	// Version manager (with abort repair over the DHT).
 	c.vmSvc = vmanager.NewService(vmanager.NewState(vmanager.MetadataRepairer(c.MetaStore)))
@@ -164,8 +190,11 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	}
 	c.VMAddr = vmAddr
 
-	// Provider manager.
+	// Provider manager (with the liveness-expiry loop when configured).
 	c.pmSvc = pmanager.NewService(pmanager.NewState(cfg.Strategy))
+	if cfg.ExpireAfter > 0 {
+		c.pmSvc.StartExpiry(cfg.ExpireAfter, cfg.ExpireAfter/2)
+	}
 	pmAddr, err := serve("pmanager", c.pmSvc.Mux())
 	if err != nil {
 		c.Stop()
@@ -195,9 +224,78 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		c.ProviderAddrs = append(c.ProviderAddrs, addr)
 		c.provSvcs[addr] = svc
 		c.pmSvc.State().Register(addr, c.HostOf(i))
+		if cfg.HeartbeatInterval > 0 {
+			c.startHeartbeat(addr, c.HostOf(i), svc)
+		}
+	}
+
+	// Repair engine: scanner + executor over the deployment's own
+	// client stack. Constructed always (tests and bsfsctl-style tools
+	// drive RunOnce directly); the background loop only runs when a
+	// scan period is configured.
+	c.repairEng = repair.New(repair.Config{
+		VM:          vmanager.NewClient(c.Pool, c.VMAddr),
+		PM:          pmanager.NewClient(c.Pool, c.PMAddr),
+		Prov:        provider.NewClient(c.Pool),
+		Meta:        c.MetaStore,
+		Overlay:     c.Overlay,
+		Concurrency: cfg.RepairConcurrency,
+	})
+	if cfg.RepairInterval > 0 {
+		c.repairEng.Start(cfg.RepairInterval)
 	}
 	return c, nil
 }
+
+// startHeartbeat launches the provider's liveness loop: every interval
+// it reports itself (with live store statistics) to the provider
+// manager over the same RPC path a real daemon uses, re-registering if
+// the manager has lost its membership.
+func (c *BlobSeer) startHeartbeat(addr, host string, svc *provider.Service) {
+	stop := make(chan struct{})
+	c.heartbeatMu.Lock()
+	c.stopHeartbeat[addr] = stop
+	c.heartbeatMu.Unlock()
+	pm := pmanager.NewClient(c.Pool, c.PMAddr)
+	interval := c.Cfg.HeartbeatInterval
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				if known, err := pm.Heartbeat(ctx, addr, svc.Store().Stats()); err == nil && !known {
+					_ = pm.Register(ctx, addr, host)
+				}
+				cancel()
+			}
+		}
+	}()
+}
+
+// KillProvider simulates a provider crash: its RPC server goes down
+// (in-flight and future calls fail at the transport level) and its
+// heartbeat loop stops, so only failure feedback or heartbeat expiry
+// can remove it from the allocation pool — exactly a real crash's
+// signature. The provider's store is NOT cleared: a later repair pass
+// must not depend on it, but tests can inspect it.
+func (c *BlobSeer) KillProvider(addr string) {
+	c.heartbeatMu.Lock()
+	if stop, ok := c.stopHeartbeat[addr]; ok {
+		close(stop)
+		delete(c.stopHeartbeat, addr)
+	}
+	c.heartbeatMu.Unlock()
+	if srv, ok := c.srvByAddr[addr]; ok {
+		srv.Close()
+	}
+}
+
+// RepairEngine exposes the deployment's repair plane (tests, tools).
+func (c *BlobSeer) RepairEngine() *repair.Engine { return c.repairEng }
 
 // HostOf returns the synthetic host name of data provider i.
 func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
@@ -215,6 +313,7 @@ func (c *BlobSeer) NewClient(host string) *core.Client {
 		MetaCacheSize: c.Cfg.MetaCacheSize,
 		DataPlane:     c.Cfg.DataPlane,
 		FrameSize:     c.Cfg.FrameSize,
+		Overlay:       c.Overlay,
 	})
 }
 
@@ -250,6 +349,18 @@ func (c *BlobSeer) MetaService(addr string) *dht.MetaService { return c.metaSvcs
 
 // Stop shuts every daemon down.
 func (c *BlobSeer) Stop() {
+	if c.repairEng != nil {
+		c.repairEng.Stop()
+	}
+	c.heartbeatMu.Lock()
+	for addr, stop := range c.stopHeartbeat {
+		close(stop)
+		delete(c.stopHeartbeat, addr)
+	}
+	c.heartbeatMu.Unlock()
+	if c.pmSvc != nil {
+		c.pmSvc.StopExpiry()
+	}
 	if c.vmSvc != nil {
 		c.vmSvc.StopJanitor()
 	}

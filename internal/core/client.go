@@ -80,30 +80,59 @@ type Config struct {
 	// FrameSize overrides the chained data plane's streaming frame
 	// payload size (provider.DefaultFrameSize if 0).
 	FrameSize int
+
+	// Overlay resolves relocated replicas: when the repair plane copies
+	// a block off a dead provider, the new location is recorded here
+	// (metadata is immutable, so the original replica set in the tree
+	// leaf never changes). Reads consult it only after exhausting a
+	// block's original replicas; nil disables the lookup.
+	Overlay LocationOverlay
+
+	// DisableFailureFeedback stops the client from reporting providers
+	// it could not reach to the provider manager. The feedback loop is
+	// on by default: a MarkDead report pulls a dead provider out of the
+	// allocation pool immediately instead of waiting for heartbeat
+	// expiry. Reports fire only on transport-level failures (connection
+	// refused/broken), never on application errors, and are rate-limited
+	// per provider.
+	DisableFailureFeedback bool
+}
+
+// LocationOverlay is the read path's view of the repair plane's
+// relocation records (implemented by repair.Overlay). Get returns the
+// extra providers holding repair copies of the block (nil when none);
+// Remove purges the record when the block itself is garbage-collected.
+type LocationOverlay interface {
+	Get(ctx context.Context, key blob.BlockKey) ([]string, error)
+	Remove(ctx context.Context, key blob.BlockKey) error
 }
 
 // Client is a BlobSeer client. It is safe for concurrent use; all
 // state it keeps is cache (histories, provider host map).
 type Client struct {
-	vm        *vmanager.Client
-	pm        *pmanager.Client
-	prov      *provider.Client
-	meta      mdtree.Store
-	host      string
-	plane     DataPlane
-	frameSize int
-	nonce     nonceSource
-	readRR    atomic.Uint64 // rotates the first replica tried per fetch
-	putSem    chan struct{} // global cap on concurrent per-replica puts
+	vm         *vmanager.Client
+	pm         *pmanager.Client
+	prov       *provider.Client
+	meta       mdtree.Store
+	host       string
+	plane      DataPlane
+	frameSize  int
+	nonce      nonceSource
+	readRR     atomic.Uint64 // rotates the first replica tried per fetch
+	putSem     chan struct{} // global cap on concurrent per-replica puts
+	overlay    LocationOverlay
+	noFeedback bool
 
 	chainFallbacks atomic.Uint64 // blocks that fell back to fan-out
+	deadReports    atomic.Uint64 // MarkDead feedback reports sent
 
 	mu        sync.Mutex
 	histories map[blob.ID]*blob.History
 	metas     map[blob.ID]blob.Meta
-	sizes     map[verKey]int64    // published (blob, version) -> size; descriptors are immutable
-	hosts     map[string]string   // provider addr -> host
-	noChain   map[string]struct{} // heads that answered CodeChainUnsupported
+	sizes     map[verKey]int64     // published (blob, version) -> size; descriptors are immutable
+	hosts     map[string]string    // provider addr -> host
+	noChain   map[string]struct{}  // heads that answered CodeChainUnsupported
+	reported  map[string]time.Time // providers recently reported dead (rate limit)
 }
 
 // verKey names one published snapshot for the size cache.
@@ -123,20 +152,23 @@ const maxSizeCacheEntries = 4096
 func NewClient(cfg Config) *Client {
 	meta := mdtree.MaybeCache(cfg.MetaStore, cfg.MetaCacheSize)
 	return &Client{
-		vm:        vmanager.NewClient(cfg.Pool, cfg.VMAddr),
-		pm:        pmanager.NewClient(cfg.Pool, cfg.PMAddr),
-		prov:      provider.NewClient(cfg.Pool),
-		meta:      meta,
-		host:      cfg.Host,
-		plane:     cfg.DataPlane,
-		frameSize: cfg.FrameSize,
-		nonce:     newNonceSource(),
-		putSem:    make(chan struct{}, putConcurrency),
-		histories: make(map[blob.ID]*blob.History),
-		metas:     make(map[blob.ID]blob.Meta),
-		sizes:     make(map[verKey]int64),
-		hosts:     make(map[string]string),
-		noChain:   make(map[string]struct{}),
+		vm:         vmanager.NewClient(cfg.Pool, cfg.VMAddr),
+		pm:         pmanager.NewClient(cfg.Pool, cfg.PMAddr),
+		prov:       provider.NewClient(cfg.Pool),
+		meta:       meta,
+		host:       cfg.Host,
+		plane:      cfg.DataPlane,
+		frameSize:  cfg.FrameSize,
+		overlay:    cfg.Overlay,
+		noFeedback: cfg.DisableFailureFeedback,
+		nonce:      newNonceSource(),
+		putSem:     make(chan struct{}, putConcurrency),
+		histories:  make(map[blob.ID]*blob.History),
+		metas:      make(map[blob.ID]blob.Meta),
+		sizes:      make(map[verKey]int64),
+		hosts:      make(map[string]string),
+		noChain:    make(map[string]struct{}),
+		reported:   make(map[string]time.Time),
 	}
 }
 
@@ -144,6 +176,39 @@ func NewClient(cfg Config) *Client {
 // fan-out fallback because their replica chain failed — the signal that
 // a deployment is quietly paying R×B of client egress again.
 func (c *Client) ChainFallbacks() uint64 { return c.chainFallbacks.Load() }
+
+// DeadReports reports how many MarkDead feedback reports this client
+// has sent to the provider manager (tests, observability).
+func (c *Client) DeadReports() uint64 { return c.deadReports.Load() }
+
+// deadReportTTL rate-limits MarkDead feedback per provider: one report
+// per TTL is plenty — the provider manager needs the bit once, and a
+// revived provider re-registers or heartbeats its way back in.
+const deadReportTTL = 30 * time.Second
+
+// reportDead closes the failure-feedback loop: a provider the client
+// could not reach at the transport level is reported to the provider
+// manager so allocation stops handing it out before heartbeat expiry
+// fires. Fire-and-forget on a background context — the caller's read or
+// write must not block on control-plane bookkeeping.
+func (c *Client) reportDead(addr string, err error) {
+	if c.noFeedback || !rpc.TransportFailure(err) {
+		return
+	}
+	c.mu.Lock()
+	if at, ok := c.reported[addr]; ok && time.Since(at) < deadReportTTL {
+		c.mu.Unlock()
+		return
+	}
+	c.reported[addr] = time.Now()
+	c.mu.Unlock()
+	c.deadReports.Add(1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.pm.MarkDead(ctx, addr)
+	}()
+}
 
 // MetaCacheStats returns the client's node-cache counters, or zeroes
 // when the client runs uncached.
@@ -375,6 +440,9 @@ func (c *Client) putBlockChained(ctx context.Context, replicas []string, key blo
 			c.noChain[chain[0]] = struct{}{}
 			c.mu.Unlock()
 		}
+		// An unreachable chain head is a dead provider; a coded chain
+		// failure only means some hop broke (the head answered).
+		c.reportDead(chain[0], err)
 	}
 	c.chainFallbacks.Add(1)
 	return c.putBlockFanout(ctx, replicas, key, chunk)
@@ -395,6 +463,7 @@ func (c *Client) putBlockFanout(ctx context.Context, replicas []string, key blob
 		go func(addr string) {
 			defer func() { <-c.putSem; wg.Done() }()
 			if err := c.prov.Put(ctx, addr, key, chunk); err != nil {
+				c.reportDead(addr, err)
 				mu.Lock()
 				if ferr == nil {
 					ferr = fmt.Errorf("core: store block %s on %s: %w", key, addr, err)
@@ -616,7 +685,10 @@ func (c *Client) readInto(ctx context.Context, m blob.Meta, v blob.Version, size
 // (Map/Reduce schedules tasks onto replica hosts expecting a local
 // read); otherwise the starting replica rotates so concurrent readers
 // spread load across the replica set instead of serializing on the
-// first address. Either way the remaining replicas serve as failover.
+// first address. Either way the remaining replicas serve as failover,
+// and once the original replica set is exhausted the location overlay
+// is consulted for repair copies. Providers that failed at the
+// transport level are reported to the provider manager.
 func (c *Client) fetchExtentInto(ctx context.Context, e mdtree.Extent, dst []byte) (int, error) {
 	n := len(e.Block.Providers)
 	start := c.localReplicaIndex(ctx, e.Block.Providers)
@@ -633,7 +705,30 @@ func (c *Client) fetchExtentInto(ctx context.Context, e mdtree.Extent, dst []byt
 		if err == nil {
 			return copy(dst, data), nil
 		}
+		c.reportDead(addr, err)
 		lastErr = err
+	}
+	// Every original replica failed; a repair pass may have relocated
+	// the block. Addresses already tried are skipped.
+	if c.overlay != nil {
+		extras, oerr := c.overlay.Get(ctx, e.Block.Key)
+		if oerr == nil {
+			tried := make(map[string]bool, n)
+			for _, a := range e.Block.Providers {
+				tried[a] = true
+			}
+			for _, addr := range extras {
+				if tried[addr] {
+					continue
+				}
+				data, err := c.prov.Get(ctx, addr, e.Block.Key, e.DataOff, e.Len)
+				if err == nil {
+					return copy(dst, data), nil
+				}
+				c.reportDead(addr, err)
+				lastErr = err
+			}
+		}
 	}
 	return 0, fmt.Errorf("core: all replicas failed for %s: %w", e.Block.Key, lastErr)
 }

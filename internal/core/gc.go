@@ -81,6 +81,20 @@ func (c *Client) GC(ctx context.Context, id blob.ID, keep blob.Version) (GCStats
 							st.BlocksFreed++
 						}
 					}
+					// Repair copies and their overlay record go with the
+					// block: a dangling relocation entry would point
+					// readers at storage the providers already reclaimed.
+					if c.overlay != nil {
+						extras, oerr := c.overlay.Get(ctx, node.Block.Key)
+						if oerr == nil {
+							for _, addr := range extras {
+								if err := c.prov.Delete(ctx, addr, node.Block.Key); err == nil {
+									st.BlocksFreed++
+								}
+							}
+							_ = c.overlay.Remove(ctx, node.Block.Key)
+						}
+					}
 				}
 			}
 			if err := deleter.Delete(ctx, dn.ID); err != nil {

@@ -29,6 +29,19 @@
 // carries its own presence flag, so one response mixes hits and
 // authoritative misses and the client can fall through to further
 // replicas only for the keys that need it.
+//
+// # Key namespaces
+//
+// Two key families share the DHT, distinguished by prefix:
+//
+//	"t<blob>/<version>/<off>/<span>"  segment-tree nodes (package mdtree)
+//	"loc/b<blob>/<nonce hex>/<seq>"   location-overlay entries (package
+//	                                  repair): value is a stringslice of
+//	                                  extra provider addresses holding
+//	                                  repair copies of the block
+//
+// Tree nodes are immutable; overlay entries are whole-value replaced by
+// the (single-writer) repair engine and deleted by version GC.
 package dht
 
 import (

@@ -21,6 +21,9 @@ type Node struct {
 	Host   string // physical host (for locality decisions)
 	Blocks int64  // blocks currently stored (allocators update this)
 	Alive  bool
+	// Draining marks a node being decommissioned: it still serves reads
+	// (and acts as a repair source) but receives no new blocks.
+	Draining bool
 }
 
 // ErrNoProviders is returned when no alive node can satisfy a request.
@@ -39,7 +42,7 @@ type Strategy interface {
 func alive(nodes []*Node) []*Node {
 	out := make([]*Node, 0, len(nodes))
 	for _, nd := range nodes {
-		if nd.Alive {
+		if nd.Alive && !nd.Draining {
 			out = append(out, nd)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"blobseer/internal/placement"
 	"blobseer/internal/rpc"
+	"blobseer/internal/store"
 	"blobseer/internal/wire"
 )
 
@@ -24,6 +25,7 @@ const (
 	mList
 	mMarkDead
 	mHeartbeat
+	mDecommission
 )
 
 // CodeNoProviders maps placement.ErrNoProviders across the wire.
@@ -38,6 +40,12 @@ type State struct {
 	nodes    []*placement.Node
 	byAddr   map[string]*placement.Node
 	lastSeen map[string]time.Time
+	// reported holds the latest heartbeat-carried store statistics per
+	// provider. Node.Blocks is an allocation-time estimate the placement
+	// strategies maintain for their own balance decisions; listings and
+	// layout metrics prefer the reported truth, which reflects deletes,
+	// failed writes and repair copies the estimate never sees.
+	reported map[string]store.Stats
 	strategy placement.Strategy
 }
 
@@ -46,16 +54,20 @@ func NewState(strategy placement.Strategy) *State {
 	return &State{
 		byAddr:   make(map[string]*placement.Node),
 		lastSeen: make(map[string]time.Time),
+		reported: make(map[string]store.Stats),
 		strategy: strategy,
 	}
 }
 
-// Register adds (or revives) a provider.
+// Register adds (or revives) a provider. Re-registering clears a
+// draining mark: an operator re-adding a decommissioned node starts it
+// fresh.
 func (s *State) Register(addr, host string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n, ok := s.byAddr[addr]; ok {
 		n.Alive = true
+		n.Draining = false
 		n.Host = host
 		s.lastSeen[addr] = time.Now()
 		return
@@ -66,23 +78,44 @@ func (s *State) Register(addr, host string) {
 	s.lastSeen[addr] = time.Now()
 }
 
-// Heartbeat refreshes a provider's liveness.
-func (s *State) Heartbeat(addr string) {
+// Heartbeat refreshes a provider's liveness and records the store
+// statistics it carried. A draining provider stays draining — liveness
+// and decommissioning are orthogonal. The return value reports whether
+// the provider is known: false tells a heartbeating provider that the
+// manager has no record of it (a restarted manager lost its
+// membership) and it must Register again.
+func (s *State) Heartbeat(addr string, stats store.Stats) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n, ok := s.byAddr[addr]; ok {
-		n.Alive = true
-		s.lastSeen[addr] = time.Now()
+	n, ok := s.byAddr[addr]
+	if !ok {
+		return false
 	}
+	n.Alive = true
+	s.lastSeen[addr] = time.Now()
+	s.reported[addr] = stats
+	return true
 }
 
 // MarkDead removes a provider from allocation (failure injection,
-// failed-write feedback).
+// failed-write feedback, heartbeat expiry).
 func (s *State) MarkDead(addr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n, ok := s.byAddr[addr]; ok {
 		n.Alive = false
+	}
+}
+
+// Decommission marks a provider as draining: it leaves the allocation
+// pool immediately but keeps serving reads and repair-source traffic
+// until the repair plane has re-replicated its blocks elsewhere
+// (drain-then-retire). Heartbeats do not clear the mark; Register does.
+func (s *State) Decommission(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byAddr[addr]; ok {
+		n.Draining = true
 	}
 }
 
@@ -124,33 +157,54 @@ func (s *State) Allocate(nBlocks, replicas int, clientHost string) ([][]string, 
 
 // ProviderInfo is one row of the provider listing.
 type ProviderInfo struct {
-	Addr   string
-	Host   string
-	Blocks int64
-	Alive  bool
+	Addr     string
+	Host     string
+	Blocks   int64 // heartbeat-reported item count (allocation estimate until the first heartbeat)
+	Bytes    int64 // heartbeat-reported payload bytes (0 until the first heartbeat)
+	Alive    bool
+	Draining bool
 }
 
-// List returns a snapshot of the membership.
+// List returns a snapshot of the membership. Block/byte counts come
+// from the latest heartbeat when one has been received, so they reflect
+// deletes, failed writes and repair copies — not just allocations.
 func (s *State) List() []ProviderInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]ProviderInfo, len(s.nodes))
 	for i, n := range s.nodes {
-		out[i] = ProviderInfo{Addr: n.Addr, Host: n.Host, Blocks: n.Blocks, Alive: n.Alive}
+		info := ProviderInfo{Addr: n.Addr, Host: n.Host, Blocks: n.Blocks, Alive: n.Alive, Draining: n.Draining}
+		if st, ok := s.reported[n.Addr]; ok {
+			info.Blocks = st.Items
+			info.Bytes = st.Bytes
+		}
+		out[i] = info
 	}
 	return out
 }
 
-// Layout returns blocks-per-provider counts (Figure 3(b) metric).
+// Layout returns blocks-per-provider counts (Figure 3(b) metric),
+// preferring heartbeat-reported reality over allocation estimates for
+// providers that have reported.
 func (s *State) Layout() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return placement.Layout(s.nodes)
+	counts := placement.Layout(s.nodes)
+	for i, n := range s.nodes {
+		if st, ok := s.reported[n.Addr]; ok {
+			counts[i] = int(st.Items)
+		}
+	}
+	return counts
 }
 
-// Service is the RPC shell around State.
+// Service is the RPC shell around State, plus the liveness-expiry
+// ticker that retires silent providers from the allocation pool.
 type Service struct {
 	state *State
+
+	expiryMu   sync.Mutex
+	stopExpiry chan struct{}
 }
 
 // NewService wraps state.
@@ -158,6 +212,43 @@ func NewService(state *State) *Service { return &Service{state: state} }
 
 // State exposes the core.
 func (s *Service) State() *State { return s.state }
+
+// StartExpiry launches the liveness loop: every interval, providers
+// silent for longer than maxAge are marked dead and leave the
+// allocation pool. Stop with StopExpiry. This is what turns the
+// Heartbeat/ExpireStale machinery into an actual failure detector —
+// without it a crashed provider keeps receiving allocations forever.
+func (s *Service) StartExpiry(maxAge, interval time.Duration) {
+	s.expiryMu.Lock()
+	defer s.expiryMu.Unlock()
+	if s.stopExpiry != nil {
+		return // already running
+	}
+	stop := make(chan struct{})
+	s.stopExpiry = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.state.ExpireStale(maxAge)
+			}
+		}
+	}()
+}
+
+// StopExpiry terminates the liveness loop.
+func (s *Service) StopExpiry() {
+	s.expiryMu.Lock()
+	defer s.expiryMu.Unlock()
+	if s.stopExpiry != nil {
+		close(s.stopExpiry)
+		s.stopExpiry = nil
+	}
+}
 
 // Mux returns the RPC dispatch table.
 func (s *Service) Mux() *rpc.Mux {
@@ -167,6 +258,7 @@ func (s *Service) Mux() *rpc.Mux {
 	m.Handle(mList, s.handleList)
 	m.Handle(mMarkDead, s.handleMarkDead)
 	m.Handle(mHeartbeat, s.handleHeartbeat)
+	m.Handle(mDecommission, s.handleDecommission)
 	return m
 }
 
@@ -184,11 +276,14 @@ func (s *Service) handleRegister(p []byte) ([]byte, error) {
 func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
+	st := store.Stats{Items: r.I64(), Bytes: r.I64()}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	s.state.Heartbeat(addr)
-	return nil, nil
+	known := s.state.Heartbeat(addr, st)
+	b := wire.NewBuffer(1)
+	b.Bool(known)
+	return b.Bytes(), nil
 }
 
 func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
@@ -198,6 +293,16 @@ func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.state.MarkDead(addr)
+	return nil, nil
+}
+
+func (s *Service) handleDecommission(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	addr := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s.state.Decommission(addr)
 	return nil, nil
 }
 
@@ -232,7 +337,9 @@ func (s *Service) handleList(p []byte) ([]byte, error) {
 		b.String(in.Addr)
 		b.String(in.Host)
 		b.I64(in.Blocks)
+		b.I64(in.Bytes)
 		b.Bool(in.Alive)
+		b.Bool(in.Draining)
 	}
 	return b.Bytes(), nil
 }
@@ -265,11 +372,30 @@ func (c *Client) Register(ctx context.Context, addr, host string) error {
 	return err
 }
 
-// Heartbeat refreshes liveness.
-func (c *Client) Heartbeat(ctx context.Context, addr string) error {
+// Heartbeat refreshes liveness, carrying the provider's live store
+// statistics so the manager's listings track reality. known == false
+// means the manager does not know this provider (it restarted and lost
+// its membership): the caller must Register again.
+func (c *Client) Heartbeat(ctx context.Context, addr string, stats store.Stats) (known bool, err error) {
+	b := wire.NewBuffer(32)
+	b.String(addr)
+	b.I64(stats.Items)
+	b.I64(stats.Bytes)
+	resp, err := c.call(ctx, mHeartbeat, b.Bytes())
+	if err != nil {
+		return false, err
+	}
+	r := wire.NewReader(resp)
+	known = r.Bool()
+	return known, r.Err()
+}
+
+// Decommission marks a provider draining (out of the allocation pool,
+// still a read/repair source).
+func (c *Client) Decommission(ctx context.Context, addr string) error {
 	b := wire.NewBuffer(16)
 	b.String(addr)
-	_, err := c.call(ctx, mHeartbeat, b.Bytes())
+	_, err := c.call(ctx, mDecommission, b.Bytes())
 	return err
 }
 
@@ -314,10 +440,12 @@ func (c *Client) List(ctx context.Context) ([]ProviderInfo, error) {
 	out := make([]ProviderInfo, 0, n)
 	for i := uint32(0); i < n; i++ {
 		out = append(out, ProviderInfo{
-			Addr:   r.String(),
-			Host:   r.String(),
-			Blocks: r.I64(),
-			Alive:  r.Bool(),
+			Addr:     r.String(),
+			Host:     r.String(),
+			Blocks:   r.I64(),
+			Bytes:    r.I64(),
+			Alive:    r.Bool(),
+			Draining: r.Bool(),
 		})
 	}
 	return out, r.Err()

@@ -67,6 +67,31 @@ type codedError struct {
 func (e *codedError) Error() string   { return e.msg }
 func (e *codedError) RPCCode() uint16 { return e.code }
 
+// TransportFailure reports whether err means the remote endpoint could
+// not be reached or the connection died before a response arrived —
+// the signal that a provider may actually be down. Application-level
+// errors (RemoteError, coded errors) mean the remote answered and is
+// alive; context cancellation means the *caller* gave up. Neither is
+// evidence of a dead endpoint, so failure-feedback loops (core
+// reporting MarkDead to the provider manager) key off this predicate.
+func TransportFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	var c Coder
+	if errors.As(err, &c) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
 // CodeOf extracts the status code from err (StatusError if none).
 func CodeOf(err error) uint16 {
 	var c Coder

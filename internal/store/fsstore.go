@@ -231,6 +231,30 @@ func (s *FSStore) DeletePrefix(prefix string) (int, error) {
 	return n, nil
 }
 
+// Keys implements Store.
+func (s *FSStore) Keys(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	hexPrefix := hex.EncodeToString([]byte(prefix))
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") || !strings.HasPrefix(name, hexPrefix) {
+			continue
+		}
+		raw, err := hex.DecodeString(name)
+		if err != nil {
+			continue // foreign file in the store directory
+		}
+		out = append(out, string(raw))
+	}
+	return out, nil
+}
+
 // Stats implements Store.
 func (s *FSStore) Stats() Stats {
 	s.mu.RLock()

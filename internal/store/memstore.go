@@ -172,6 +172,22 @@ func (s *MemStore) DeletePrefix(prefix string) (int, error) {
 	return n, nil
 }
 
+// Keys implements Store.
+func (s *MemStore) Keys(prefix string) ([]string, error) {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out, nil
+}
+
 // Stats implements Store.
 func (s *MemStore) Stats() Stats {
 	var st Stats

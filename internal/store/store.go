@@ -53,6 +53,12 @@ type Store interface {
 	// DeletePrefix removes all keys with the given prefix, returning
 	// the number removed. Used by write-abort garbage collection.
 	DeletePrefix(prefix string) (int, error)
+	// Keys enumerates the stored keys with the given prefix ("" lists
+	// everything), in no particular order. In-flight streaming writes
+	// are invisible until Commit. This is the inventory primitive behind
+	// provider block reports: the repair plane asks providers what they
+	// actually hold rather than trusting allocation-time estimates.
+	Keys(prefix string) ([]string, error)
 	// Stats returns item/byte counts.
 	Stats() Stats
 	// Close releases resources.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -18,6 +19,55 @@ func engines(t *testing.T) map[string]Store {
 	return map[string]Store{
 		"mem": NewMemStore(),
 		"fs":  fss,
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	for name, s := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			keys, err := s.Keys("")
+			if err != nil || len(keys) != 0 {
+				t.Fatalf("Keys on empty store = %v, %v", keys, err)
+			}
+			for _, k := range []string{"b1/a/0", "b1/a/1", "b2/ff/0", "t1/2/0/4"} {
+				if err := s.Put(k, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			all, err := s.Keys("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(all)
+			want := []string{"b1/a/0", "b1/a/1", "b2/ff/0", "t1/2/0/4"}
+			if fmt.Sprint(all) != fmt.Sprint(want) {
+				t.Errorf("Keys(\"\") = %v, want %v", all, want)
+			}
+			blocks, err := s.Keys("b1/a/")
+			if err != nil || len(blocks) != 2 {
+				t.Errorf("Keys(prefix) = %v, %v", blocks, err)
+			}
+			// In-flight streaming writes are invisible until Commit.
+			w, err := s.PutWriter("b9/9/0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.WriteAt([]byte("partial"), 0); err != nil {
+				t.Fatal(err)
+			}
+			inflight, _ := s.Keys("b9/")
+			if len(inflight) != 0 {
+				t.Errorf("in-flight streaming write visible in Keys: %v", inflight)
+			}
+			if err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			committed, _ := s.Keys("b9/")
+			if len(committed) != 1 {
+				t.Errorf("committed key missing from Keys: %v", committed)
+			}
+		})
 	}
 }
 

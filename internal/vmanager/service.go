@@ -25,6 +25,7 @@ const (
 	mWaitPublished
 	mListBlobs
 	mPrune
+	mPrunedBelow
 )
 
 // RPC status codes for the sentinel errors.
@@ -193,6 +194,7 @@ func (s *Service) Mux() *rpc.Mux {
 	m.Handle(mWaitPublished, s.counted(s.handleWait))
 	m.Handle(mListBlobs, s.counted(s.handleListBlobs))
 	m.Handle(mPrune, s.counted(s.handlePrune))
+	m.Handle(mPrunedBelow, s.counted(s.handlePrunedBelow))
 	return m
 }
 
@@ -405,6 +407,21 @@ func (s *Service) handlePrune(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
+func (s *Service) handlePrunedBelow(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := blob.ID(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	v, err := s.state.PrunedBelow(id)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(8)
+	b.U64(uint64(v))
+	return b.Bytes(), nil
+}
+
 type Client struct {
 	pool *rpc.Pool
 	addr string
@@ -566,6 +583,21 @@ func (c *Client) ListBlobs(ctx context.Context) ([]blob.ID, error) {
 		out = append(out, blob.ID(r.U64()))
 	}
 	return out, r.Err()
+}
+
+// PrunedBelow returns the oldest still-readable version of the blob
+// (1 if never pruned). The repair scanner uses it to bound its walk to
+// versions whose metadata still exists.
+func (c *Client) PrunedBelow(ctx context.Context, id blob.ID) (blob.Version, error) {
+	b := wire.NewBuffer(8)
+	b.U64(uint64(id))
+	resp, err := c.call(ctx, mPrunedBelow, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	v := blob.Version(r.U64())
+	return v, r.Err()
 }
 
 // Prune advances the oldest readable version to keep, returning the

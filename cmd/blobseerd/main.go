@@ -25,7 +25,11 @@
 //	blobseerd -role datanode -listen 127.0.0.1:8201 -namenode 127.0.0.1:8001 -host host-0
 //
 // Block payloads live in memory by default; pass -dir to persist them
-// in a file-backed store instead.
+// in a file-backed store instead. The control-plane daemons (vmanager,
+// namespace) are volatile by default; pass -data-dir to journal every
+// mutation to a write-ahead log and recover the state on restart
+// (-wal-sync trades durability for throughput by batching fsyncs).
+// SIGTERM flushes and closes the log before exit.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +56,7 @@ import (
 	"blobseer/internal/store"
 	"blobseer/internal/util"
 	"blobseer/internal/vmanager"
+	"blobseer/internal/wal"
 )
 
 func main() {
@@ -72,6 +78,8 @@ func main() {
 		stickyW  = flag.Int("sticky-window", 8, "sticky placement window (namenode's HDFS-0.20-like clustering)")
 		blockSz  = flag.Int64("block-size", 64*util.MB, "chunk size in bytes (namenode)")
 		wtimeout = flag.Duration("write-timeout", 0, "vmanager: abort writers silent for this long (0 disables the janitor)")
+		dataDir  = flag.String("data-dir", "", "vmanager/namespace: WAL directory for crash-durable state (default: volatile)")
+		walSync  = flag.Duration("wal-sync", 0, "vmanager/namespace: fsync the WAL at this interval instead of per record (0 = every record)")
 		hbEvery  = flag.Duration("heartbeat", 5*time.Second, "provider: heartbeat interval to the provider manager (0 disables)")
 		expire   = flag.Duration("expire-after", 0, "pmanager: mark providers silent this long dead (0 disables the liveness loop)")
 		repEvery = flag.Duration("repair-interval", 30*time.Second, "repair: scan-and-repair period")
@@ -96,6 +104,22 @@ func main() {
 			log.Fatalf("open store %s: %v", *dir, err)
 		}
 		return st
+	}
+	// openWAL opens the role's record log under -data-dir (nil without
+	// one: the daemon runs volatile, the pre-durability behavior).
+	openWAL := func(role string) *wal.Log {
+		if *dataDir == "" {
+			return nil
+		}
+		opts := wal.Options{Policy: wal.SyncAlways}
+		if *walSync > 0 {
+			opts = wal.Options{Policy: wal.SyncInterval, Interval: *walSync}
+		}
+		log_, err := wal.Open(filepath.Join(*dataDir, role), opts)
+		if err != nil {
+			log.Fatalf("open WAL under %s: %v", *dataDir, err)
+		}
+		return log_
 	}
 	newStrategy := func() placement.Strategy {
 		switch *strategy {
@@ -164,10 +188,31 @@ func main() {
 			st := mdtree.MaybeCache(mdtree.NewDHTStore(dht.NewClient(ring, pool, *metaRepl)), *metaCach)
 			repair = vmanager.MetadataRepairer(st)
 		}
-		svc := vmanager.NewService(vmanager.NewState(repair))
+		var state *vmanager.State
+		if l := openWAL("vmanager"); l != nil {
+			var err error
+			if state, err = vmanager.Recover(l, repair); err != nil {
+				log.Fatalf("vmanager: recover from WAL: %v", err)
+			}
+			st := l.Status()
+			log.Printf("vmanager: recovered from WAL (%d segment(s), %d bytes)", st.Segments, st.LogBytes)
+		} else {
+			state = vmanager.NewState(repair)
+		}
+		svc := vmanager.NewService(state)
 		if *wtimeout > 0 {
 			svc.StartJanitor(*wtimeout, *wtimeout/2)
-			cleanup = svc.StopJanitor
+		}
+		cleanup = func() {
+			// Graceful shutdown: release parked waiters, stop the
+			// janitor, flush and close the WAL.
+			if *wtimeout > 0 {
+				svc.StopJanitor()
+			}
+			state.ReleaseWaiters()
+			if err := state.CloseWAL(); err != nil {
+				log.Printf("vmanager: close WAL: %v", err)
+			}
 		}
 		mux = svc.Mux()
 
@@ -185,7 +230,23 @@ func main() {
 		}
 		pool := rpc.NewPool(rpc.TCPDialer)
 		creator := namespace.VMBlobCreator(vmanager.NewClient(pool, *vmAddr))
-		mux = namespace.NewService(namespace.NewState(creator)).Mux()
+		var state *namespace.State
+		if l := openWAL("namespace"); l != nil {
+			var err error
+			if state, err = namespace.Recover(l, creator); err != nil {
+				log.Fatalf("namespace: recover from WAL: %v", err)
+			}
+			st := l.Status()
+			log.Printf("namespace: recovered from WAL (%d segment(s), %d bytes)", st.Segments, st.LogBytes)
+		} else {
+			state = namespace.NewState(creator)
+		}
+		cleanup = func() {
+			if err := state.CloseWAL(); err != nil {
+				log.Printf("namespace: close WAL: %v", err)
+			}
+		}
+		mux = namespace.NewService(state).Mux()
 
 	case "provider":
 		// Providers forward chain frames to downstream replicas over

@@ -19,6 +19,8 @@
 //	bsfsctl [conn flags] rm -r /data
 //	bsfsctl [conn flags] providers                # membership, liveness, repair backlog
 //	bsfsctl [conn flags] decommission 127.0.0.1:7201  # drain, then retire
+//	bsfsctl [conn flags] vm status                # WAL segments, last snapshot
+//	bsfsctl [conn flags] vm snapshot              # force a snapshot + compact
 //
 // Connection flags:
 //
@@ -74,6 +76,8 @@ commands:
   locations <path>         show the block->host layout
   providers                show provider membership, liveness and repair backlog
   decommission <addr>      drain a provider's blocks, then retire it
+  vm status                show the version manager's WAL (segments, last snapshot)
+  vm snapshot              force a WAL snapshot and compact the log
 
 flags:
 `)
@@ -127,6 +131,11 @@ func main() {
 	// The maintenance commands speak to the managers directly — no
 	// file-system layer involved.
 	switch cmd {
+	case "vm":
+		if err := runVM(ctx, vmanager.NewClient(pool, *vmAddr), args); err != nil {
+			fatal(err)
+		}
+		return
 	case "providers", "decommission":
 		eng := repair.New(repair.Config{
 			VM:      vmanager.NewClient(pool, *vmAddr),
@@ -167,6 +176,47 @@ func main() {
 	if err := run(ctx, fsys, cmd, args); err != nil {
 		fatal(err)
 	}
+}
+
+// runVM handles the version-manager maintenance commands.
+func runVM(ctx context.Context, vm *vmanager.Client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("vm: want status | snapshot")
+	}
+	switch args[0] {
+	case "status":
+		st, err := vm.WALStatus(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("WAL directory:   %s\n", st.Dir)
+		fmt.Printf("segments:        %d (seq %d..%d, %d bytes)\n",
+			st.Segments, st.FirstSeq, st.LastSeq, st.LogBytes)
+		if st.SnapshotSeq > 0 {
+			fmt.Printf("last snapshot:   seq %d\n", st.SnapshotSeq)
+		} else {
+			fmt.Printf("last snapshot:   none\n")
+		}
+		fmt.Printf("records (since open): %d\n", st.Records)
+		if st.LastSyncUnix > 0 {
+			fmt.Printf("last fsync:      %s\n", time.Unix(st.LastSyncUnix, 0).Format(time.RFC3339))
+		} else {
+			fmt.Printf("last fsync:      never\n")
+		}
+		return nil
+	case "snapshot":
+		if err := vm.ForceSnapshot(ctx); err != nil {
+			return err
+		}
+		st, err := vm.WALStatus(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written (seq %d); log compacted to %d segment(s), %d bytes\n",
+			st.SnapshotSeq, st.Segments, st.LogBytes)
+		return nil
+	}
+	return fmt.Errorf("unknown vm command %q (want status | snapshot)", args[0])
 }
 
 // runAdmin handles the membership/repair commands.

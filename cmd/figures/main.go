@@ -70,6 +70,7 @@ func main() {
 		fig       = flag.String("fig", "all", "figure to regenerate: 3a | 3b | 4 | 5 | 6a | 6b | all")
 		quick     = flag.Bool("quick", false, "coarse sweeps (3 points per curve)")
 		ablations = flag.Bool("ablations", false, "run the ablation experiments instead of the figures")
+		recovery  = flag.Bool("recovery", false, "run the crash-recovery ablation and write BENCH_recovery.json")
 		check     = flag.Bool("selftest", false, "run a live-stack handle-API sanity check and exit")
 	)
 	flag.Parse()
@@ -79,6 +80,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *recovery {
+		r, err := bench.CrashRecoveryBench(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: recovery bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.Table("Crash recovery — publication-line durability (vmanager kill+restart)", r.Durability))
+		fmt.Println(bench.Table("Crash recovery — cold replay time vs log length", r.RecoveryTime))
+		fmt.Println(bench.Table("Crash recovery — fsync policy throughput cost", r.FsyncCost))
+		if err := r.WriteJSON("BENCH_recovery.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_recovery.json")
 		return
 	}
 

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+
+	"blobseer/internal/namespace"
+	"blobseer/internal/rpc"
+	"blobseer/internal/vmanager"
+	"blobseer/internal/wal"
+)
+
+// This file is the control-plane half of the chaos harness: crash and
+// restart injection for the version manager and the namespace manager,
+// mirroring KillProvider for the data plane. A "crash" closes the RPC
+// server (in-flight and future calls fail at the transport level, the
+// signature clients see from a real dead process) and drops the
+// in-memory state; "restart" rebuilds the state from the WAL — or from
+// nothing when the deployment runs without one, which is exactly the
+// data-loss ablation AblationCrashRecovery measures.
+
+func (c *BlobSeer) walOptions() wal.Options {
+	if c.Cfg.WALSyncInterval > 0 {
+		return wal.Options{Policy: wal.SyncInterval, Interval: c.Cfg.WALSyncInterval}
+	}
+	return wal.Options{Policy: wal.SyncAlways}
+}
+
+// newVMState builds the version-manager core: recovered from the WAL
+// when DataDir is set, fresh and volatile otherwise.
+func (c *BlobSeer) newVMState() (*vmanager.State, error) {
+	repairer := vmanager.MetadataRepairer(c.MetaStore)
+	if c.Cfg.DataDir == "" {
+		return vmanager.NewState(repairer), nil
+	}
+	log, err := wal.Open(filepath.Join(c.Cfg.DataDir, "vmanager"), c.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	st, err := vmanager.Recover(log, repairer)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// newNSState builds the namespace core, WAL-recovered when durable.
+func (c *BlobSeer) newNSState() (*namespace.State, error) {
+	creator := namespace.VMBlobCreator(vmanager.NewClient(c.Pool, c.VMAddr))
+	if c.Cfg.DataDir == "" {
+		return namespace.NewState(creator), nil
+	}
+	log, err := wal.Open(filepath.Join(c.Cfg.DataDir, "namespace"), c.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	st, err := namespace.Recover(log, creator)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// relisten re-binds a control service's endpoint after a restart: the
+// same inproc name, or the same TCP host:port (the restarted daemon of
+// a real deployment comes back on its configured address).
+func (c *BlobSeer) relisten(name, addr string) (net.Listener, error) {
+	if c.Cfg.UseTCP {
+		return rpc.ListenTCP(addr)
+	}
+	return c.net.Listen(name)
+}
+
+// takeServer detaches a service's server from the registry; the
+// caller owns its shutdown (Sever/Close), so a kill can unblock
+// parked handlers between severing the conns and draining.
+func (c *BlobSeer) takeServer(addr string) *rpc.Server {
+	c.serversMu.Lock()
+	srv := c.srvByAddr[addr]
+	delete(c.srvByAddr, addr)
+	c.serversMu.Unlock()
+	return srv
+}
+
+func (c *BlobSeer) addServer(addr string, srv *rpc.Server) {
+	c.serversMu.Lock()
+	c.servers = append(c.servers, srv)
+	c.srvByAddr[addr] = srv
+	c.serversMu.Unlock()
+}
+
+// KillVManager crashes the version manager: its server goes down
+// mid-flight, the janitor stops, and the WAL is released so a restart
+// can reopen it. Pending WaitPublished waiters die with the server —
+// their clients see a transport failure and (with the retrying client)
+// re-arm against the recovered instance.
+func (c *BlobSeer) KillVManager() {
+	c.vmSvc.StopJanitor()
+	// Sever conns first (no response can reach a client), then wake
+	// parked WaitPublished handlers, then drain. Without the release a
+	// "crash" would block on armed waiters for their full timeout.
+	srv := c.takeServer(c.VMAddr)
+	if srv != nil {
+		srv.Sever()
+	}
+	c.vmSvc.State().ReleaseWaiters()
+	if srv != nil {
+		srv.Close()
+	}
+	// In-process we cannot kill -9 the page cache; closing the log is
+	// the closest faithful crash point. Every client-acknowledged
+	// publish was AppendSync'd before its ack, so the interesting
+	// durability property is still exercised.
+	c.vmSvc.State().CloseWAL()
+}
+
+// RestartVManager recovers the version manager from its WAL (or from
+// nothing without one) and serves it on the original address.
+func (c *BlobSeer) RestartVManager() error {
+	st, err := c.newVMState()
+	if err != nil {
+		return fmt.Errorf("cluster: restart vmanager: %w", err)
+	}
+	c.vmSvc = vmanager.NewService(st)
+	if c.Cfg.WriteTimeout > 0 {
+		c.vmSvc.StartJanitor(c.Cfg.WriteTimeout, c.Cfg.WriteTimeout/2)
+	}
+	lis, err := c.relisten("vmanager", c.VMAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: restart vmanager: %w", err)
+	}
+	srv := rpc.NewServer(c.vmSvc.Mux())
+	c.addServer(c.VMAddr, srv)
+	go srv.Serve(lis)
+	return nil
+}
+
+// KillNamespace crashes the namespace manager.
+func (c *BlobSeer) KillNamespace() {
+	if srv := c.takeServer(c.NSAddr); srv != nil {
+		srv.Close()
+	}
+	c.nsSvc.State().CloseWAL()
+}
+
+// RestartNamespace recovers the namespace from its WAL and serves it
+// on the original address.
+func (c *BlobSeer) RestartNamespace() error {
+	st, err := c.newNSState()
+	if err != nil {
+		return fmt.Errorf("cluster: restart namespace: %w", err)
+	}
+	c.nsSvc = namespace.NewService(st)
+	lis, err := c.relisten("namespace", c.NSAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: restart namespace: %w", err)
+	}
+	srv := rpc.NewServer(c.nsSvc.Mux())
+	c.addServer(c.NSAddr, srv)
+	go srv.Serve(lis)
+	return nil
+}

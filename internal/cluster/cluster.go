@@ -55,6 +55,22 @@ type Config struct {
 	ExpireAfter       time.Duration // pmanager expires providers silent this long (0 disables)
 	RepairInterval    time.Duration // background repair scan period (0 = on-demand via RepairEngine only)
 	RepairConcurrency int           // parallel block repairs (0 = repair.DefaultConcurrency)
+
+	// Crash durability (the control-plane WAL). DataDir enables
+	// write-ahead logging for the version manager and the namespace
+	// under DataDir/vmanager and DataDir/namespace; both recover their
+	// state from the logs at start. Empty keeps the historical
+	// in-memory-only control plane.
+	DataDir string
+	// WALSyncInterval selects the fsync policy: 0 syncs every record
+	// (no acknowledged operation is ever lost); >0 batches fsyncs at
+	// this interval (client-acked publishes are still always synced).
+	WALSyncInterval time.Duration
+	// CallTimeout is the per-call RPC I/O deadline applied to the
+	// deployment's shared pool: calls against a hung peer fail (and
+	// become retryable) after this long. 0 disables, the historical
+	// behavior.
+	CallTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -105,6 +121,7 @@ type BlobSeer struct {
 	repairEng *repair.Engine
 
 	net       *rpc.InprocNetwork
+	serversMu sync.Mutex
 	servers   []*rpc.Server
 	srvByAddr map[string]*rpc.Server
 
@@ -147,6 +164,9 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		}
 		c.Pool = rpc.NewPool(c.net.Dial)
 	}
+	if cfg.CallTimeout > 0 {
+		c.Pool.SetCallTimeout(cfg.CallTimeout)
+	}
 
 	serve := func(name string, mux *rpc.Mux) (string, error) {
 		lis, addr, err := listen(name)
@@ -154,8 +174,10 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 			return "", err
 		}
 		srv := rpc.NewServer(mux)
+		c.serversMu.Lock()
 		c.servers = append(c.servers, srv)
 		c.srvByAddr[addr] = srv
+		c.serversMu.Unlock()
 		go srv.Serve(lis)
 		return addr, nil
 	}
@@ -178,8 +200,14 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	// are tiny KV entries under their own namespace.
 	c.Overlay = repair.NewOverlay(dhtClient)
 
-	// Version manager (with abort repair over the DHT).
-	c.vmSvc = vmanager.NewService(vmanager.NewState(vmanager.MetadataRepairer(c.MetaStore)))
+	// Version manager (with abort repair over the DHT, recovered from
+	// its WAL when the deployment is durable).
+	vmState, err := c.newVMState()
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.vmSvc = vmanager.NewService(vmState)
 	if cfg.WriteTimeout > 0 {
 		c.vmSvc.StartJanitor(cfg.WriteTimeout, cfg.WriteTimeout/2)
 	}
@@ -203,8 +231,12 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	c.PMAddr = pmAddr
 
 	// Namespace manager (the BSFS layer's file->BLOB map).
-	c.nsSvc = namespace.NewService(namespace.NewState(
-		namespace.VMBlobCreator(vmanager.NewClient(c.Pool, c.VMAddr))))
+	nsState, err := c.newNSState()
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.nsSvc = namespace.NewService(nsState)
 	nsAddr, err := serve("namespace", c.nsSvc.Mux())
 	if err != nil {
 		c.Stop()
@@ -289,7 +321,10 @@ func (c *BlobSeer) KillProvider(addr string) {
 		delete(c.stopHeartbeat, addr)
 	}
 	c.heartbeatMu.Unlock()
-	if srv, ok := c.srvByAddr[addr]; ok {
+	c.serversMu.Lock()
+	srv, ok := c.srvByAddr[addr]
+	c.serversMu.Unlock()
+	if ok {
 		srv.Close()
 	}
 }
@@ -364,8 +399,28 @@ func (c *BlobSeer) Stop() {
 	if c.vmSvc != nil {
 		c.vmSvc.StopJanitor()
 	}
-	for _, s := range c.servers {
+	c.serversMu.Lock()
+	servers := append([]*rpc.Server(nil), c.servers...)
+	c.serversMu.Unlock()
+	for _, s := range servers {
+		s.Sever()
+	}
+	// Parked WaitPublished handlers would stall the drain below for
+	// their full wait timeout; wake them now that no response can
+	// reach a client.
+	if c.vmSvc != nil {
+		c.vmSvc.State().ReleaseWaiters()
+	}
+	for _, s := range servers {
 		s.Close()
+	}
+	// Graceful shutdown: flush the control-plane logs (the SIGTERM
+	// path of blobseerd does the same).
+	if c.vmSvc != nil {
+		c.vmSvc.State().CloseWAL()
+	}
+	if c.nsSvc != nil {
+		c.nsSvc.State().CloseWAL()
 	}
 	if c.Pool != nil {
 		c.Pool.Close()

@@ -55,10 +55,6 @@ const (
 )
 
 func (c *Client) putBatchOne(ctx context.Context, addr string, kvs []wire.KV) error {
-	cl, err := c.pool.Get(addr)
-	if err != nil {
-		return fmt.Errorf("dht: put batch (%d keys) to %s: %w", len(kvs), addr, err)
-	}
 	for start := 0; start < len(kvs); {
 		size := 4
 		end := start
@@ -72,7 +68,7 @@ func (c *Client) putBatchOne(ctx context.Context, addr string, kvs []wire.KV) er
 		}
 		b := wire.NewBuffer(size)
 		b.KVSlice(kvs[start:end])
-		if _, err := cl.Call(ctx, mMetaPutBatch, b.Bytes()); err != nil {
+		if _, err := c.callAddr(ctx, addr, mMetaPutBatch, b.Bytes()); err != nil {
 			return fmt.Errorf("dht: put batch (%d keys) to %s: %w", end-start, addr, err)
 		}
 		start = end
@@ -191,10 +187,6 @@ func (c *Client) GetBatch(ctx context.Context, keys []string) (map[string][]byte
 // error a nil entry means "unresolved", not "missing".
 func (c *Client) getBatchOne(ctx context.Context, addr string, keys []string) ([][]byte, error) {
 	vals := make([][]byte, len(keys))
-	cl, err := c.pool.Get(addr)
-	if err != nil {
-		return vals, fmt.Errorf("dht: get batch (%d keys) from %s: %w", len(keys), addr, err)
-	}
 	for start := 0; start < len(keys); {
 		end := start + maxBatchPairs
 		if end > len(keys) {
@@ -207,7 +199,7 @@ func (c *Client) getBatchOne(ctx context.Context, addr string, keys []string) ([
 		}
 		b := wire.NewBuffer(size)
 		b.StringSlice(chunk)
-		resp, err := cl.Call(ctx, mMetaGetBatch, b.Bytes())
+		resp, err := c.callAddr(ctx, addr, mMetaGetBatch, b.Bytes())
 		if err != nil {
 			return vals, fmt.Errorf("dht: get batch (%d keys) from %s: %w", len(chunk), addr, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
@@ -151,7 +152,14 @@ type Client struct {
 	ring     *Ring
 	pool     *rpc.Pool
 	replicas int
+	retry    rpc.Backoff
 }
+
+// metaBackoff is the per-replica retry schedule. It is deliberately
+// shorter than rpc.DefaultBackoff: reads already fall back across
+// replicas, so a dead metadata provider should fail over quickly
+// rather than be retried at length.
+var metaBackoff = rpc.Backoff{Attempts: 4, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}
 
 // NewClient returns a DHT client over the given ring with the given
 // replication factor (clamped to ring size, minimum 1).
@@ -159,11 +167,31 @@ func NewClient(ring *Ring, pool *rpc.Pool, replicas int) *Client {
 	if replicas < 1 {
 		replicas = 1
 	}
-	return &Client{ring: ring, pool: pool, replicas: replicas}
+	return &Client{ring: ring, pool: pool, replicas: replicas, retry: metaBackoff}
 }
+
+// SetRetry overrides the per-replica retry schedule.
+func (c *Client) SetRetry(b rpc.Backoff) { c.retry = b }
 
 // Ring exposes the client's ring (location queries, tests).
 func (c *Client) Ring() *Ring { return c.ring }
+
+// callAddr issues one RPC against a specific metadata provider,
+// re-dialing and retrying transport failures per the client schedule.
+// Puts and deletes are idempotent; gets are read-only — all safe to
+// repeat.
+func (c *Client) callAddr(ctx context.Context, addr string, m uint16, payload []byte) ([]byte, error) {
+	var resp []byte
+	err := rpc.Retry(ctx, c.retry, func(ctx context.Context) error {
+		cl, err := c.pool.Get(addr)
+		if err != nil {
+			return err
+		}
+		resp, err = cl.Call(ctx, m, payload)
+		return err
+	})
+	return resp, err
+}
 
 // Put stores key on every replica in parallel; it fails if any replica
 // write fails (metadata must be durable before a version can commit).
@@ -177,11 +205,7 @@ func (c *Client) Put(ctx context.Context, key string, val []byte) error {
 	b.Bytes32(val)
 	payload := b.Bytes()
 	return c.eachReplica(addrs, func(addr string) error {
-		cl, err := c.pool.Get(addr)
-		if err != nil {
-			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
-		}
-		if _, err := cl.Call(ctx, mMetaPut, payload); err != nil {
+		if _, err := c.callAddr(ctx, addr, mMetaPut, payload); err != nil {
 			return fmt.Errorf("dht: put %q to %s: %w", key, addr, err)
 		}
 		return nil
@@ -232,12 +256,7 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	var lastErr error
 	notFound := 0
 	for _, addr := range addrs {
-		cl, err := c.pool.Get(addr)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		resp, err := cl.Call(ctx, mMetaGet, payload)
+		resp, err := c.callAddr(ctx, addr, mMetaGet, payload)
 		if err != nil {
 			if rpc.CodeOf(err) == CodeNotFound {
 				// Authoritative miss on this replica; for immutable
@@ -270,11 +289,7 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 	b.String(key)
 	payload := b.Bytes()
 	return c.eachReplica(addrs, func(addr string) error {
-		cl, err := c.pool.Get(addr)
-		if err != nil {
-			return err
-		}
-		_, err = cl.Call(ctx, mMetaDelete, payload)
+		_, err := c.callAddr(ctx, addr, mMetaDelete, payload)
 		return err
 	})
 }

@@ -15,6 +15,8 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/fs"
 	"blobseer/internal/vmanager"
+	"blobseer/internal/wal"
+	"blobseer/internal/wire"
 )
 
 // RPC method numbers.
@@ -56,6 +58,10 @@ type State struct {
 	root     *entry
 	creator  BlobCreator
 	orphaned []blob.ID // blobs unlinked by delete/overwrite (GC candidates)
+	// log, when non-nil, journals every mutation for crash recovery
+	// (see recovery.go). Attached by Recover; nil keeps the historical
+	// purely-in-memory behavior.
+	log *wal.Log
 }
 
 // NewState returns an empty namespace whose new files get blobs from
@@ -143,6 +149,15 @@ func (s *State) CreateFile(ctx context.Context, path string, blockSize int64, re
 		s.orphaned = append(s.orphaned, old.blobID)
 	}
 	dir.children[name] = &entry{name: name, blobID: id}
+	// The record carries the allocated blob ID: replay must re-link
+	// the same blob, never re-invoke the creator.
+	b := wire.NewBuffer(16 + len(path))
+	b.U8(recNSCreate)
+	b.String(path)
+	b.U64(uint64(id))
+	if err := s.appendLocked(b.Bytes()); err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
@@ -162,10 +177,13 @@ func (s *State) GetFile(path string) (blob.ID, error) {
 
 // Mkdirs creates a directory chain.
 func (s *State) Mkdirs(path string) error {
+	path = fs.Clean(path)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := s.mkdirs(fs.Clean(path))
-	return err
+	if _, err := s.mkdirs(path); err != nil {
+		return err
+	}
+	return s.appendLocked(encodePath(recNSMkdirs, path))
 }
 
 // Delete unlinks a file or directory. Non-empty directories require
@@ -198,6 +216,9 @@ func (s *State) Delete(path string, recursive bool) ([]blob.ID, error) {
 	collect(e)
 	delete(parent.children, name)
 	s.orphaned = append(s.orphaned, orphans...)
+	if err := s.appendLocked(encodePath(recNSDelete, path)); err != nil {
+		return nil, err
+	}
 	return orphans, nil
 }
 
@@ -227,7 +248,11 @@ func (s *State) Rename(src, dst string) error {
 	delete(parent.children, name)
 	e.name = dstName
 	dstDir.children[dstName] = e
-	return nil
+	b := wire.NewBuffer(24 + len(src) + len(dst))
+	b.U8(recNSRename)
+	b.String(src)
+	b.String(dst)
+	return s.appendLocked(b.Bytes())
 }
 
 // Entry is one listing row.
@@ -268,10 +293,20 @@ func (s *State) StatEntry(path string) (Entry, error) {
 }
 
 // Orphaned drains the accumulated orphan list (GC integration point).
+// The drain is journaled so a recovered namespace does not re-offer
+// blobs the GC already collected.
 func (s *State) Orphaned() []blob.ID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.orphaned
+	if len(out) == 0 {
+		return nil
+	}
+	if err := s.appendLocked([]byte{recNSDrain}); err != nil {
+		// Keep the list: better to re-offer orphans after a crash
+		// (GC of a missing blob is a no-op) than to leak them.
+		return nil
+	}
 	s.orphaned = nil
 	return out
 }

@@ -143,21 +143,33 @@ func (s *Service) handleStatEntry(p []byte) ([]byte, error) {
 
 // Client is the namespace-manager RPC client.
 type Client struct {
-	pool *rpc.Pool
-	addr string
+	pool  *rpc.Pool
+	addr  string
+	retry rpc.Backoff
 }
 
 // NewClient returns a client for the namespace manager at addr.
+// Transport failures are retried with rpc.DefaultBackoff; namespace
+// mutations are idempotent across a manager restart only in the
+// success direction (a retried CreateFile whose first ack was lost
+// reports ErrExist), which callers already have to handle.
 func NewClient(pool *rpc.Pool, addr string) *Client {
-	return &Client{pool: pool, addr: addr}
+	return &Client{pool: pool, addr: addr, retry: rpc.DefaultBackoff}
 }
 
+// SetRetry overrides the client's retry schedule.
+func (c *Client) SetRetry(b rpc.Backoff) { c.retry = b }
+
 func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
-	cl, err := c.pool.Get(c.addr)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := cl.Call(ctx, m, payload)
+	var resp []byte
+	err := rpc.Retry(ctx, c.retry, func(ctx context.Context) error {
+		cl, err := c.pool.Get(c.addr)
+		if err != nil {
+			return err
+		}
+		resp, err = cl.Call(ctx, m, payload)
+		return err
+	})
 	if err != nil {
 		return nil, fs.UnwrapErr(err)
 	}

@@ -1,0 +1,129 @@
+package namespace
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/fs"
+	"blobseer/internal/rpc"
+)
+
+// startService serves a namespace State over an inproc network and
+// returns a connected client plus the raw pool (for malformed-frame
+// tests that bypass the typed client).
+func startService(t *testing.T) (*Client, *rpc.Pool) {
+	t.Helper()
+	st := NewState(func(ctx context.Context, blockSize int64, replication int) (blob.ID, error) {
+		return 1, nil
+	})
+	n := rpc.NewInprocNetwork()
+	lis, err := n.Listen("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer(NewService(st).Mux())
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	pool := rpc.NewPool(n.Dial)
+	t.Cleanup(pool.Close)
+	return NewClient(pool, "ns"), pool
+}
+
+func TestServiceDuplicateCreate(t *testing.T) {
+	c, _ := startService(t)
+	ctx := context.Background()
+	if _, err := c.CreateFile(ctx, "/f", 4096, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.CreateFile(ctx, "/f", 4096, 1, false)
+	if !errors.Is(err, fs.ErrExists) {
+		t.Errorf("duplicate create = %v, want fs.ErrExists", err)
+	}
+	// Creating a file over a directory is ErrIsDir even with overwrite.
+	if err := c.Mkdirs(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile(ctx, "/dir", 4096, 1, true); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("create over directory = %v, want fs.ErrIsDir", err)
+	}
+}
+
+func TestServiceMissingDelete(t *testing.T) {
+	c, _ := startService(t)
+	ctx := context.Background()
+	if _, err := c.Delete(ctx, "/nope", false); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("delete missing = %v, want fs.ErrNotFound", err)
+	}
+	// Deleting a non-empty directory without recursive.
+	if _, err := c.CreateFile(ctx, "/d/f", 4096, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "/d", false); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Errorf("delete non-empty = %v, want fs.ErrNotEmpty", err)
+	}
+	// Deleting the root is refused.
+	if _, err := c.Delete(ctx, "/", true); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("delete root = %v, want fs.ErrIsDir", err)
+	}
+}
+
+func TestServiceLookupAndRenameErrors(t *testing.T) {
+	c, _ := startService(t)
+	ctx := context.Background()
+	if _, err := c.GetFile(ctx, "/missing"); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("get missing = %v, want fs.ErrNotFound", err)
+	}
+	if err := c.Mkdirs(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(ctx, "/dir"); !errors.Is(err, fs.ErrIsDir) {
+		t.Errorf("get dir = %v, want fs.ErrIsDir", err)
+	}
+	if err := c.Rename(ctx, "/missing", "/x"); !errors.Is(err, fs.ErrNotFound) {
+		t.Errorf("rename missing = %v, want fs.ErrNotFound", err)
+	}
+	if _, err := c.CreateFile(ctx, "/a", 4096, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile(ctx, "/b", 4096, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(ctx, "/a", "/b"); !errors.Is(err, fs.ErrExists) {
+		t.Errorf("rename onto existing = %v, want fs.ErrExists", err)
+	}
+	if _, err := c.List(ctx, "/a"); !errors.Is(err, fs.ErrNotDir) {
+		t.Errorf("list a file = %v, want fs.ErrNotDir", err)
+	}
+}
+
+// TestServiceMalformedRequests sends truncated/garbage payloads
+// straight at the wire and checks the server answers with an error
+// frame instead of crashing, wedging, or succeeding.
+func TestServiceMalformedRequests(t *testing.T) {
+	c, pool := startService(t)
+	ctx := context.Background()
+	cl, err := pool.Get("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []uint16{mCreateFile, mGetFile, mMkdirs, mDelete, mRename, mList, mStatEntry}
+	payloads := [][]byte{
+		nil,                           // empty
+		{0x01},                        // truncated length prefix
+		{0xff, 0xff, 0xff, 0xff},      // string length far beyond payload
+		{0x00, 0x00, 0x00, 0x02, 'a'}, // promises 2 bytes, carries 1
+	}
+	for _, m := range methods {
+		for _, p := range payloads {
+			if _, err := cl.Call(ctx, m, p); err == nil {
+				t.Errorf("method %d accepted malformed payload %x", m, p)
+			}
+		}
+	}
+	// The connection must still be usable for well-formed requests.
+	if _, err := c.CreateFile(ctx, "/after", 4096, 1, false); err != nil {
+		t.Fatalf("service wedged after malformed traffic: %v", err)
+	}
+}

@@ -346,21 +346,33 @@ func (s *Service) handleList(p []byte) ([]byte, error) {
 
 // Client is the provider-manager RPC client.
 type Client struct {
-	pool *rpc.Pool
-	addr string
+	pool  *rpc.Pool
+	addr  string
+	retry rpc.Backoff
 }
 
-// NewClient returns a client for the provider manager at addr.
+// NewClient returns a client for the provider manager at addr. All
+// provider-manager operations (Register, Heartbeat, Allocate, List)
+// are idempotent or safely repeatable, so transport failures are
+// retried with rpc.DefaultBackoff.
 func NewClient(pool *rpc.Pool, addr string) *Client {
-	return &Client{pool: pool, addr: addr}
+	return &Client{pool: pool, addr: addr, retry: rpc.DefaultBackoff}
 }
+
+// SetRetry overrides the client's retry schedule.
+func (c *Client) SetRetry(b rpc.Backoff) { c.retry = b }
 
 func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
-	cl, err := c.pool.Get(c.addr)
-	if err != nil {
-		return nil, err
-	}
-	return cl.Call(ctx, m, payload)
+	var resp []byte
+	err := rpc.Retry(ctx, c.retry, func(ctx context.Context) error {
+		cl, err := c.pool.Get(c.addr)
+		if err != nil {
+			return err
+		}
+		resp, err = cl.Call(ctx, m, payload)
+		return err
+	})
+	return resp, err
 }
 
 // Register announces a provider.

@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff describes a retry schedule: up to Attempts total tries with
+// exponentially growing, jittered delays between them. The zero value
+// means "no retries" (one attempt); most callers start from
+// DefaultBackoff.
+type Backoff struct {
+	Attempts int           // total tries, including the first (min 1)
+	Base     time.Duration // delay before the first retry
+	Max      time.Duration // delay ceiling (0 = uncapped)
+}
+
+// DefaultBackoff is the schedule the manager clients (version manager,
+// namespace, provider manager, metadata DHT) retry with: enough budget
+// (~1s of cumulative delay) to ride out a control-service crash-restart
+// cycle, small enough that a genuinely dead service fails calls in
+// about a second.
+var DefaultBackoff = Backoff{Attempts: 8, Base: 10 * time.Millisecond, Max: 300 * time.Millisecond}
+
+// Retry runs fn until it succeeds, returns a non-retryable error, the
+// schedule is exhausted, or ctx is done. Only TransportFailure errors
+// are retried: application errors mean the peer is alive and answered —
+// repeating the call would repeat the answer — and ctx expiry means the
+// caller gave up. Each delay is the exponential step with half-range
+// jitter (uniform in [d/2, d]), decorrelating clients that all observed
+// the same restart.
+//
+// Retrying is only safe when the operation tolerates duplicate
+// delivery: the response may have been lost *after* the peer applied
+// the request. Publish/Commit is idempotent by design; AssignVersion
+// may leak an in-flight version on such a lost response, which the
+// dead-writer janitor aborts.
+func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) error {
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := b.Base
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			jittered := delay/2 + rand.N(delay/2+1)
+			t := time.NewTimer(jittered)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err // the last transport failure, not ctx.Err()
+			}
+			delay *= 2
+			if b.Max > 0 && delay > b.Max {
+				delay = b.Max
+			}
+		}
+		err = fn(ctx)
+		if err == nil || !TransportFailure(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,286 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCallTimeoutStalledServer is the regression test for the
+// historical hang: a peer that accepts the connection and then never
+// responds used to block callers forever. With a per-call I/O deadline
+// the call must fail with ErrCallTimeout, classified as a transport
+// failure so retry layers treat it like a dead peer.
+func TestCallTimeoutStalledServer(t *testing.T) {
+	n := NewInprocNetwork()
+	lis, err := n.Listen("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	// A "server" that reads frames but never answers them.
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	conn, err := n.Dial("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	c.SetIOTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Call(context.Background(), 1, []byte("ping"))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if !TransportFailure(err) {
+		t.Errorf("ErrCallTimeout not classified as transport failure")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("call took %v, deadline did not bound it", elapsed)
+	}
+}
+
+// TestCallTimeoutWriteStall covers the other half of the hang: a peer
+// that stops *reading*, so the frame write itself blocks (net.Pipe has
+// no buffer, which makes this easy to provoke).
+func TestCallTimeoutWriteStall(t *testing.T) {
+	n := NewInprocNetwork()
+	lis, err := n.Listen("deaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			if _, err := lis.Accept(); err != nil {
+				return // accepted conn is held open but never read
+			}
+		}
+	}()
+
+	conn, err := n.Dial("deaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	c.SetIOTimeout(50 * time.Millisecond)
+
+	_, err = c.Call(context.Background(), 1, []byte("ping"))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+}
+
+// TestNoTimeoutExemptsCall: a WaitPublished-style call marked with
+// NoTimeout must survive a server that answers slower than the I/O
+// deadline.
+func TestNoTimeoutExemptsCall(t *testing.T) {
+	mux := NewMux()
+	mux.Handle(1, func(p []byte) ([]byte, error) {
+		time.Sleep(150 * time.Millisecond)
+		return []byte("late"), nil
+	})
+	n, addr, _ := startServer(t, mux)
+	conn, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	c.SetIOTimeout(50 * time.Millisecond)
+
+	resp, err := c.Call(NoTimeout(context.Background()), 1, nil)
+	if err != nil {
+		t.Fatalf("NoTimeout call failed: %v", err)
+	}
+	if string(resp) != "late" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+// TestContextDeadlineOverridesIOTimeout: an explicit caller deadline
+// suppresses the response timer (the caller knows how long it wants to
+// wait), and its expiry surfaces as ctx.Err, not ErrCallTimeout.
+func TestContextDeadlineOverridesIOTimeout(t *testing.T) {
+	mux := NewMux()
+	mux.Handle(1, func(p []byte) ([]byte, error) {
+		time.Sleep(100 * time.Millisecond)
+		return []byte("ok"), nil
+	})
+	n, addr, _ := startServer(t, mux)
+	conn, _ := n.Dial(addr)
+	c := NewClient(conn)
+	defer c.Close()
+	c.SetIOTimeout(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, 1, nil); err != nil {
+		t.Fatalf("call with generous ctx deadline failed: %v", err)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	_, err := c.Call(ctx2, 1, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if TransportFailure(err) {
+		t.Errorf("ctx deadline classified as transport failure; retries would loop on a caller that gave up")
+	}
+}
+
+func TestPoolSetCallTimeout(t *testing.T) {
+	n := NewInprocNetwork()
+	lis, err := n.Listen("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	p := NewPool(n.Dial)
+	defer p.Close()
+
+	// Applied to a client pooled before the setting...
+	before, err := p.Get("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetCallTimeout(50 * time.Millisecond)
+	if _, err := before.Call(context.Background(), 1, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("existing client: err = %v, want ErrCallTimeout", err)
+	}
+
+	// ...and to clients dialed after it (the failed call above broke
+	// the pooled client, so this Get redials).
+	after, err := p.Get("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := after.Call(context.Background(), 1, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("fresh client: err = %v, want ErrCallTimeout", err)
+	}
+}
+
+func TestRetryTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Millisecond}, func(ctx context.Context) error {
+		if calls.Add(1) < 3 {
+			return ErrConnBroken
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("fn called %d times, want 3", got)
+	}
+}
+
+func TestRetryStopsOnAppError(t *testing.T) {
+	appErr := CodedError(7, "application said no")
+	var calls atomic.Int32
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Millisecond}, func(ctx context.Context) error {
+		calls.Add(1)
+		return appErr
+	})
+	if CodeOf(err) != 7 {
+		t.Fatalf("Retry = %v, want coded app error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn called %d times, want 1 (app errors must not be retried)", got)
+	}
+}
+
+func TestRetryExhaustsSchedule(t *testing.T) {
+	var calls atomic.Int32
+	err := Retry(context.Background(), Backoff{Attempts: 3, Base: time.Millisecond}, func(ctx context.Context) error {
+		calls.Add(1)
+		return ErrConnBroken
+	})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("Retry = %v, want ErrConnBroken", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("fn called %d times, want 3", got)
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, Backoff{Attempts: 100, Base: 100 * time.Millisecond}, func(ctx context.Context) error {
+			calls.Add(1)
+			return ErrConnBroken
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// The last observed transport failure is more useful to the
+		// caller than "context canceled".
+		if !errors.Is(err, ErrConnBroken) {
+			t.Fatalf("Retry = %v, want ErrConnBroken", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Retry did not return after ctx cancel")
+	}
+	if got := calls.Load(); got > 3 {
+		t.Errorf("fn called %d times after early cancel", got)
+	}
+}
+
+func TestRetryZeroValueSingleAttempt(t *testing.T) {
+	var calls atomic.Int32
+	err := Retry(context.Background(), Backoff{}, func(ctx context.Context) error {
+		calls.Add(1)
+		return ErrConnBroken
+	})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("Retry = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn called %d times, want 1 for zero-value Backoff", got)
+	}
+}

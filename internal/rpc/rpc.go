@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blobseer/internal/wire"
 )
@@ -41,6 +43,31 @@ const statusTransport uint16 = 0xffff
 // ErrConnBroken wraps transport-level call failures so callers can
 // distinguish them from remote application errors and retry safely.
 var ErrConnBroken = errors.New("rpc: connection broken")
+
+// ErrCallTimeout wraps calls aborted by the transport's own per-call
+// I/O deadline: the peer accepted the connection but produced no
+// response in time — the signature of a hung or wedged service. It is
+// distinct from the caller's ctx expiring (the caller gave up) and is
+// classified as a TransportFailure, so Retry treats a hung peer exactly
+// like a dead one.
+var ErrCallTimeout = errors.New("rpc: call timed out")
+
+// noTimeoutKey marks a context as exempt from the client's per-call
+// I/O deadline.
+type noTimeoutKey struct{}
+
+// NoTimeout returns a context whose calls bypass the transport's
+// per-call I/O deadline. Intentionally long-blocking RPCs (the version
+// manager's WaitPublished) opt out this way while everything else on
+// the same connection stays bounded.
+func NoTimeout(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noTimeoutKey{}, true)
+}
+
+func hasNoTimeout(ctx context.Context) bool {
+	v, _ := ctx.Value(noTimeoutKey{}).(bool)
+	return v
+}
 
 // RemoteError is an error returned by the remote handler.
 type RemoteError struct {
@@ -85,6 +112,11 @@ func TransportFailure(err error) bool {
 	var c Coder
 	if errors.As(err, &c) {
 		return false
+	}
+	// The transport's own per-call deadline firing means the *peer* went
+	// silent, not that the caller gave up: retryable.
+	if errors.Is(err, ErrCallTimeout) {
+		return true
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -185,10 +217,22 @@ func (s *Server) Serve(lis net.Listener) error {
 // Close stops the listener and all connections, waiting for in-flight
 // handlers to finish writing.
 func (s *Server) Close() error {
+	s.Sever()
+	s.wg.Wait()
+	return nil
+}
+
+// Sever closes the listener and every active connection WITHOUT
+// waiting for in-flight handlers — the abrupt first half of Close,
+// exposed for crash injection: a handler blocked server-side (a
+// publication waiter, say) must not be able to stall a "crash". The
+// caller may unblock such handlers after severing and then Close to
+// drain; their response writes fail harmlessly on the dead conns.
+func (s *Server) Sever() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil
+		return
 	}
 	s.closed = true
 	lis := s.lis
@@ -199,8 +243,6 @@ func (s *Server) Close() error {
 	if lis != nil {
 		lis.Close()
 	}
-	s.wg.Wait()
-	return nil
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -265,7 +307,8 @@ func (s *Server) dispatch(method uint16, payload []byte) ([]byte, uint16) {
 type Client struct {
 	conn net.Conn
 
-	nextID atomic.Uint64
+	nextID  atomic.Uint64
+	timeout atomic.Int64 // per-call I/O deadline in ns (0 = none)
 
 	mu      sync.Mutex
 	pending map[uint64]chan callResult
@@ -273,6 +316,13 @@ type Client struct {
 
 	wmu sync.Mutex // serializes request frames
 }
+
+// SetIOTimeout bounds every subsequent Call: frame writes get a write
+// deadline, and a call whose response does not arrive within d fails
+// with ErrCallTimeout. Calls whose ctx carries its own deadline, or
+// which opted out via NoTimeout, are exempt from the response bound
+// (the write deadline always applies). d <= 0 disables.
+func (c *Client) SetIOTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
 type callResult struct {
 	payload []byte
@@ -307,12 +357,35 @@ func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byt
 	buf.U16(0)
 	frame := append(buf.Bytes(), payload...)
 
+	d := time.Duration(c.timeout.Load())
 	c.wmu.Lock()
+	if d > 0 {
+		// A peer that stopped draining its socket must not wedge the
+		// sender forever: bound the frame write.
+		c.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	err := wire.WriteFrame(c.conn, frame)
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
+		// A failed frame write may have left a partial frame on the
+		// wire; the connection is unusable for framing either way.
+		c.conn.Close()
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, fmt.Errorf("%w: frame write stalled for %v", ErrCallTimeout, d)
+		}
 		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	// The response bound: skipped when the caller manages its own
+	// deadline or explicitly opted out (long-blocking waits).
+	var ioTimer <-chan time.Time
+	if d > 0 && !hasNoTimeout(ctx) {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			ioTimer = t.C
+		}
 	}
 
 	select {
@@ -325,6 +398,9 @@ func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byt
 		default:
 			return nil, &RemoteError{Code: res.status, Msg: string(res.payload)}
 		}
+	case <-ioTimer:
+		c.forget(id)
+		return nil, fmt.Errorf("%w: no response within %v", ErrCallTimeout, d)
 	case <-ctx.Done():
 		c.forget(id)
 		return nil, ctx.Err()

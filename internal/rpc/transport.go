@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Dialer opens a connection to an address. Deployments use TCPDialer;
@@ -108,7 +109,8 @@ func (a inprocAddr) String() string  { return string(a) }
 // that e.g. 250 concurrent readers multiplex over one connection per
 // provider, as the C++ implementation does.
 type Pool struct {
-	dial Dialer
+	dial    Dialer
+	timeout time.Duration // per-call I/O deadline applied to new clients
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -117,6 +119,19 @@ type Pool struct {
 // NewPool returns a Pool using dial for new connections.
 func NewPool(dial Dialer) *Pool {
 	return &Pool{dial: dial, clients: make(map[string]*Client)}
+}
+
+// SetCallTimeout applies a per-call I/O deadline to every client the
+// pool hands out (existing pooled clients included): see
+// Client.SetIOTimeout. 0 disables — the historical behavior, where a
+// hung peer blocks its callers forever.
+func (p *Pool) SetCallTimeout(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.timeout = d
+	for _, c := range p.clients {
+		c.SetIOTimeout(d)
+	}
 }
 
 // Get returns a live client for addr, dialing if needed.
@@ -139,6 +154,9 @@ func (p *Pool) Get(addr string) (*Client, error) {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
 	c := NewClient(conn)
+	p.mu.Lock()
+	c.SetIOTimeout(p.timeout)
+	p.mu.Unlock()
 
 	p.mu.Lock()
 	defer p.mu.Unlock()

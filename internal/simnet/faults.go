@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"fmt"
+
+	"blobseer/internal/sim"
+)
+
+// faults.go — fault injection for the fabric: per-pair extra latency,
+// deterministic message drops, and partitions. The chaos experiments
+// (crash-recovery under a degraded network, Section V's failure
+// scenarios) drive these knobs; the fluid-flow model underneath is
+// unchanged. All faults are symmetric over an unordered node pair and
+// free when unused: the fault table is nil until the first injection.
+
+type pairKey struct{ a, b NodeID }
+
+func keyOf(a, b NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+type fault struct {
+	extraLatency sim.Time
+	partitioned  bool
+	healed       *sim.Event // armed while partitioned; fired by Heal
+	dropEvery    int        // every Nth Message pays the retransmit penalty
+	dropPenalty  sim.Time
+	msgCount     int
+}
+
+// faultOf returns the fault record for (a, b), nil when none exists.
+func (n *Net) faultOf(a, b NodeID) *fault {
+	if n.faults == nil {
+		return nil
+	}
+	return n.faults[keyOf(a, b)]
+}
+
+func (n *Net) ensureFault(a, b NodeID) *fault {
+	n.checkNode(a)
+	n.checkNode(b)
+	if a == b {
+		panic(fmt.Sprintf("simnet: cannot inject a fault between node %d and itself", a))
+	}
+	if n.faults == nil {
+		n.faults = make(map[pairKey]*fault)
+	}
+	k := keyOf(a, b)
+	f := n.faults[k]
+	if f == nil {
+		f = &fault{}
+		n.faults[k] = f
+	}
+	return f
+}
+
+// SetExtraLatency adds d of one-way latency to every transfer and
+// message between a and b (on top of the fabric's base latency),
+// modeling a degraded or cross-switch link. d = 0 clears it.
+func (n *Net) SetExtraLatency(a, b NodeID, d sim.Time) {
+	n.ensureFault(a, b).extraLatency = d
+}
+
+// SetMessageDrop makes every Nth control message between a and b pay
+// penalty of extra delay — the flow-level stand-in for a dropped
+// packet and its retransmission timeout. every = 0 clears the fault;
+// penalty <= 0 defaults to one round trip at base latency.
+func (n *Net) SetMessageDrop(a, b NodeID, every int, penalty sim.Time) {
+	f := n.ensureFault(a, b)
+	if penalty <= 0 {
+		penalty = 2 * n.cfg.Latency
+	}
+	f.dropEvery = every
+	f.dropPenalty = penalty
+	f.msgCount = 0
+}
+
+// Partition cuts the link between a and b: in-flight transfers stall
+// at their current progress, new transfers make no progress, and
+// messages block — all until Heal. Idempotent.
+func (n *Net) Partition(a, b NodeID) {
+	f := n.ensureFault(a, b)
+	if f.partitioned {
+		return
+	}
+	f.partitioned = true
+	f.healed = n.env.NewEvent()
+	// Re-solve the rate allocation: partitioned flows drop to zero and
+	// stop counting against their links, so bystander flows speed up.
+	n.advance()
+	n.recalc()
+}
+
+// Heal restores the link between a and b: stalled transfers resume
+// and blocked messages proceed. Idempotent; healing an un-partitioned
+// pair is a no-op.
+func (n *Net) Heal(a, b NodeID) {
+	f := n.faultOf(a, b)
+	if f == nil || !f.partitioned {
+		return
+	}
+	f.partitioned = false
+	f.healed.Fire()
+	n.advance()
+	n.recalc()
+}
+
+// Partitioned reports whether the link between a and b is cut.
+func (n *Net) Partitioned(a, b NodeID) bool {
+	f := n.faultOf(a, b)
+	return f != nil && f.partitioned
+}
+
+// latencyBetween is the one-way latency for the (a, b) link including
+// any injected degradation.
+func (n *Net) latencyBetween(a, b NodeID) sim.Time {
+	d := n.cfg.Latency
+	if f := n.faultOf(a, b); f != nil {
+		d += f.extraLatency
+	}
+	return d
+}
+
+// stalled reports whether a non-local flow is currently partitioned.
+func (n *Net) stalled(f *flow) bool {
+	if f.local {
+		return false
+	}
+	return n.Partitioned(f.src, f.dst)
+}
+
+// awaitHealed blocks p while the (src, dst) link is partitioned. The
+// loop re-checks after every wake: the pair may have been partitioned
+// again before p was scheduled.
+func (n *Net) awaitHealed(p *sim.Proc, src, dst NodeID) {
+	for {
+		f := n.faultOf(src, dst)
+		if f == nil || !f.partitioned {
+			return
+		}
+		f.healed.Wait(p)
+	}
+}

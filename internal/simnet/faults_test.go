@@ -1,0 +1,161 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"blobseer/internal/sim"
+)
+
+func TestExtraLatencyOnMessage(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testCfg(3)
+	cfg.Latency = sim.Millisecond
+	net := New(env, cfg)
+	net.SetExtraLatency(0, 1, 4*sim.Millisecond)
+	var slow, fast sim.Time
+	env.Go(func(p *sim.Proc) {
+		net.Message(p, 0, 1, 0) // degraded link: 2*(1+4) ms
+		slow = p.Now()
+	})
+	env.Go(func(p *sim.Proc) {
+		net.Message(p, 0, 2, 0) // untouched link: 2*1 ms
+		fast = p.Now()
+	})
+	env.Run()
+	if slow != 10*sim.Millisecond {
+		t.Errorf("degraded message took %v, want 10ms", slow)
+	}
+	if fast != 2*sim.Millisecond {
+		t.Errorf("bystander message took %v, want 2ms", fast)
+	}
+}
+
+func TestExtraLatencyOnTransferAndClear(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testCfg(2)
+	cfg.Latency = sim.Millisecond
+	net := New(env, cfg)
+	net.SetExtraLatency(1, 0, 9*sim.Millisecond) // symmetric: set as (1,0)
+	var first, second sim.Time
+	env.Go(func(p *sim.Proc) {
+		net.Transfer(p, 0, 1, 100e6, 0) // 10ms latency + 1s flow
+		first = p.Now()
+		net.SetExtraLatency(0, 1, 0)    // cleared
+		net.Transfer(p, 0, 1, 100e6, 0) // 1ms latency + 1s flow
+		second = p.Now()
+	})
+	env.Run()
+	if want := sim.Second + 10*sim.Millisecond; first != want {
+		t.Errorf("degraded transfer finished at %v, want %v", first, want)
+	}
+	if want := first + sim.Second + sim.Millisecond; second != want {
+		t.Errorf("post-clear transfer finished at %v, want %v", second, want)
+	}
+}
+
+func TestPartitionStallsInFlightTransfer(t *testing.T) {
+	// A 100 MB flow on a 100 MB/s link: 1s unfaulted. Cut the link at
+	// 0.5s, heal at 1.5s — the flow stalls for the 1s outage and
+	// finishes at 2.0s with all bytes accounted.
+	env := sim.NewEnv()
+	net := New(env, testCfg(2))
+	var done sim.Time
+	env.Go(func(p *sim.Proc) {
+		net.Transfer(p, 0, 1, 100e6, 0)
+		done = p.Now()
+	})
+	env.Call(sim.Time(0.5*float64(sim.Second)), func() { net.Partition(0, 1) })
+	env.Call(sim.Time(1.5*float64(sim.Second)), func() { net.Heal(0, 1) })
+	env.Run()
+	if got := done.Seconds(); math.Abs(got-2.0) > 1e-6 {
+		t.Errorf("partitioned transfer took %.6fs, want 2.0s", got)
+	}
+	if math.Abs(net.EgressOf(0)-100e6) > 1 {
+		t.Errorf("egress = %f, want 100e6", net.EgressOf(0))
+	}
+}
+
+func TestPartitionFreesCapacityForBystanders(t *testing.T) {
+	// Two flows share node 0's uplink at 50 MB/s each. Partitioning
+	// one at t=0 gives the survivor the full link: 100 MB in 1s.
+	env := sim.NewEnv()
+	net := New(env, testCfg(3))
+	var survivor sim.Time
+	env.Go(func(p *sim.Proc) {
+		net.Transfer(p, 0, 1, 100e6, 0)
+		survivor = p.Now()
+	})
+	env.Go(func(p *sim.Proc) {
+		net.Transfer(p, 0, 2, 100e6, 0)
+	})
+	env.Call(0, func() { net.Partition(0, 2) })
+	env.Call(3*sim.Second, func() { net.Heal(0, 2) })
+	env.Run()
+	if got := survivor.Seconds(); math.Abs(got-1.0) > 1e-3 {
+		t.Errorf("bystander flow took %.6fs, want ~1.0s", got)
+	}
+}
+
+func TestPartitionBlocksMessagesUntilHeal(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testCfg(2)
+	cfg.Latency = sim.Millisecond
+	net := New(env, cfg)
+	net.Partition(0, 1)
+	if !net.Partitioned(0, 1) || !net.Partitioned(1, 0) {
+		t.Fatal("partition not symmetric")
+	}
+	var done sim.Time
+	env.Go(func(p *sim.Proc) {
+		net.Message(p, 0, 1, 0)
+		done = p.Now()
+	})
+	env.Call(sim.Second, func() { net.Heal(0, 1) })
+	env.Run()
+	if want := sim.Second + 2*sim.Millisecond; done != want {
+		t.Errorf("message through partition completed at %v, want %v", done, want)
+	}
+	if net.Partitioned(0, 1) {
+		t.Error("still partitioned after heal")
+	}
+}
+
+func TestMessageDropPenalty(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := testCfg(2)
+	cfg.Latency = sim.Millisecond
+	net := New(env, cfg)
+	net.SetMessageDrop(0, 1, 2, 10*sim.Millisecond) // every 2nd message
+	var done sim.Time
+	env.Go(func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			net.Message(p, 0, 1, 0)
+		}
+		done = p.Now()
+	})
+	env.Run()
+	// 4 round trips at 2ms + 2 drops at 10ms penalty each.
+	if want := 8*sim.Millisecond + 20*sim.Millisecond; done != want {
+		t.Errorf("4 messages with drops took %v, want %v", done, want)
+	}
+}
+
+func TestHealIdempotentAndSelfFaultPanics(t *testing.T) {
+	env := sim.NewEnv()
+	net := New(env, testCfg(2))
+	net.Heal(0, 1) // heal of an unfaulted pair: no-op
+	net.Partition(0, 1)
+	net.Partition(0, 1) // idempotent
+	net.Heal(0, 1)
+	net.Heal(0, 1)
+	if net.Partitioned(0, 1) {
+		t.Error("healed pair still partitioned")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("self-partition did not panic")
+		}
+	}()
+	net.Partition(1, 1)
+}

@@ -62,6 +62,10 @@ type Net struct {
 	lastUpdate sim.Time
 	gen        uint64 // invalidates stale completion callbacks
 
+	// faults holds injected link degradations keyed by unordered node
+	// pair; nil until the first injection (see faults.go).
+	faults map[pairKey]*fault
+
 	// Stats
 	BytesMoved float64
 	egress     []float64 // per-node bytes sent over the uplink
@@ -129,12 +133,14 @@ func (n *Net) transfer(p *sim.Proc, src, dst NodeID, size int64, rateCap float64
 	n.checkNode(dst)
 	if size <= 0 {
 		if !local {
-			p.Sleep(n.cfg.Latency)
+			n.awaitHealed(p, src, dst)
+			p.Sleep(n.latencyBetween(src, dst))
 		}
 		return
 	}
 	if !local {
-		p.Sleep(n.cfg.Latency)
+		n.awaitHealed(p, src, dst)
+		p.Sleep(n.latencyBetween(src, dst))
 	}
 	if n.cfg.DiskBps <= 0 {
 		disk = -1
@@ -156,9 +162,16 @@ func (n *Net) Message(p *sim.Proc, src, dst NodeID, bytes int64) {
 	}
 	n.checkNode(src)
 	n.checkNode(dst)
-	d := 2 * n.cfg.Latency
+	n.awaitHealed(p, src, dst)
+	d := 2 * n.latencyBetween(src, dst)
 	if bytes > 0 && n.cfg.UpBps > 0 {
 		d += sim.DurationFromSeconds(float64(bytes) / n.cfg.UpBps)
+	}
+	if f := n.faultOf(src, dst); f != nil && f.dropEvery > 0 {
+		f.msgCount++
+		if f.msgCount%f.dropEvery == 0 {
+			d += f.dropPenalty
+		}
 	}
 	p.Sleep(d)
 }
@@ -208,6 +221,11 @@ func (n *Net) recalc() {
 	unfrozen := make(map[*flow]struct{}, len(n.flows))
 	for f := range n.flows {
 		f.rate = 0
+		if n.stalled(f) {
+			// Partitioned: zero rate, and no claim on any link share —
+			// bystander flows get the freed capacity.
+			continue
+		}
 		unfrozen[f] = struct{}{}
 		if !f.local {
 			up[f.src].nFlows++

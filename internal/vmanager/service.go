@@ -9,6 +9,7 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/mdtree"
 	"blobseer/internal/rpc"
+	"blobseer/internal/wal"
 	"blobseer/internal/wire"
 )
 
@@ -26,6 +27,8 @@ const (
 	mListBlobs
 	mPrune
 	mPrunedBelow
+	mWALStatus
+	mForceSnapshot
 )
 
 // RPC status codes for the sentinel errors.
@@ -195,7 +198,33 @@ func (s *Service) Mux() *rpc.Mux {
 	m.Handle(mListBlobs, s.counted(s.handleListBlobs))
 	m.Handle(mPrune, s.counted(s.handlePrune))
 	m.Handle(mPrunedBelow, s.counted(s.handlePrunedBelow))
+	m.Handle(mWALStatus, s.counted(s.handleWALStatus))
+	m.Handle(mForceSnapshot, s.counted(s.handleForceSnapshot))
 	return m
+}
+
+func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
+	st, err := s.state.WALStatus()
+	if err != nil {
+		return nil, wrap(err)
+	}
+	b := wire.NewBuffer(64)
+	b.String(st.Dir)
+	b.U32(uint32(st.Segments))
+	b.U64(st.FirstSeq)
+	b.U64(st.LastSeq)
+	b.U64(st.SnapshotSeq)
+	b.I64(st.LogBytes)
+	b.U64(st.Records)
+	b.I64(st.LastSyncUnix)
+	return b.Bytes(), nil
+}
+
+func (s *Service) handleForceSnapshot(p []byte) ([]byte, error) {
+	if err := s.state.SnapshotNow(); err != nil {
+		return nil, wrap(err)
+	}
+	return nil, nil
 }
 
 func encodeDesc(b *wire.Buffer, d blob.WriteDesc) {
@@ -423,21 +452,34 @@ func (s *Service) handlePrunedBelow(p []byte) ([]byte, error) {
 }
 
 type Client struct {
-	pool *rpc.Pool
-	addr string
+	pool  *rpc.Pool
+	addr  string
+	retry rpc.Backoff
 }
 
-// NewClient returns a client for the version manager at addr.
+// NewClient returns a client for the version manager at addr. Calls
+// retry transport-classified failures with rpc.DefaultBackoff, so a
+// version-manager crash-restart cycle is invisible to callers
+// (Publish/Commit is idempotent; a retried AssignVersion whose first
+// response was lost leaks an in-flight version for the janitor).
 func NewClient(pool *rpc.Pool, addr string) *Client {
-	return &Client{pool: pool, addr: addr}
+	return &Client{pool: pool, addr: addr, retry: rpc.DefaultBackoff}
 }
+
+// SetRetry overrides the client's retry schedule (chaos tests widen it,
+// latency-sensitive callers shrink it).
+func (c *Client) SetRetry(b rpc.Backoff) { c.retry = b }
 
 func (c *Client) call(ctx context.Context, m uint16, payload []byte) ([]byte, error) {
-	cl, err := c.pool.Get(c.addr)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := cl.Call(ctx, m, payload)
+	var resp []byte
+	err := rpc.Retry(ctx, c.retry, func(ctx context.Context) error {
+		cl, err := c.pool.Get(c.addr)
+		if err != nil {
+			return err
+		}
+		resp, err = cl.Call(ctx, m, payload)
+		return err
+	})
 	if err != nil {
 		return nil, errFromCode(err)
 	}
@@ -554,13 +596,16 @@ func (c *Client) History(ctx context.Context, id blob.ID, since blob.Version) ([
 	return ds, r.Err()
 }
 
-// WaitPublished blocks until v is published or timeout passes.
+// WaitPublished blocks until v is published or timeout passes. The
+// call blocks server-side by design, so it is exempted from the
+// per-call I/O deadline; if the manager restarts mid-wait the retry in
+// call re-issues it, re-arming the waiter on the recovered state.
 func (c *Client) WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
 	b := wire.NewBuffer(24)
 	b.U64(uint64(id))
 	b.U64(uint64(v))
 	b.I64(int64(timeout / time.Millisecond))
-	resp, err := c.call(ctx, mWaitPublished, b.Bytes())
+	resp, err := c.call(rpc.NoTimeout(ctx), mWaitPublished, b.Bytes())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -613,4 +658,33 @@ func (c *Client) Prune(ctx context.Context, id blob.ID, keep blob.Version) (blob
 	r := wire.NewReader(resp)
 	from := blob.Version(r.U64())
 	return from, r.Err()
+}
+
+// WALStatus reports the manager's write-ahead-log shape (bsfsctl vm
+// status). Fails with a remote error when the manager runs without a
+// WAL.
+func (c *Client) WALStatus(ctx context.Context) (wal.Status, error) {
+	resp, err := c.call(ctx, mWALStatus, nil)
+	if err != nil {
+		return wal.Status{}, err
+	}
+	r := wire.NewReader(resp)
+	st := wal.Status{
+		Dir:          r.String(),
+		Segments:     int(r.U32()),
+		FirstSeq:     r.U64(),
+		LastSeq:      r.U64(),
+		SnapshotSeq:  r.U64(),
+		LogBytes:     r.I64(),
+		Records:      r.U64(),
+		LastSyncUnix: r.I64(),
+	}
+	return st, r.Err()
+}
+
+// ForceSnapshot snapshots the manager's state into its WAL and
+// compacts the log behind it.
+func (c *Client) ForceSnapshot(ctx context.Context) error {
+	_, err := c.call(ctx, mForceSnapshot, nil)
+	return err
 }

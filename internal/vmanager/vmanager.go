@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"blobseer/internal/blob"
+	"blobseer/internal/wal"
 )
 
 // Sentinel validation errors (mapped to RPC codes by the service).
@@ -52,6 +53,10 @@ type State struct {
 	nextID blob.ID
 	blobs  map[blob.ID]*blobState
 	repair Repairer
+	// log, when non-nil, journals every mutation for crash recovery
+	// (see recovery.go). Attached by Recover; nil keeps the historical
+	// purely-in-memory behavior (simulator, most tests).
+	log *wal.Log
 }
 
 type blobState struct {
@@ -90,6 +95,11 @@ func (s *State) CreateBlob(blockSize int64, replication int) (blob.Meta, error) 
 	m.ID = s.nextID
 	s.nextID++
 	s.blobs[m.ID] = &blobState{meta: m, assigned: make(map[blob.Version]time.Time)}
+	// Forced sync: the namespace (and the client) will hold this ID
+	// durably, so the blob's existence must survive a crash too.
+	if err := s.appendLocked(true, encodeCreate(m)); err != nil {
+		return blob.Meta{}, err
+	}
 	return m, nil
 }
 
@@ -165,7 +175,16 @@ func (s *State) AssignVersion(id blob.ID, kind blob.WriteKind, off, size int64, 
 		return Assignment{}, err
 	}
 	bs.committed = append(bs.committed, false)
-	bs.assigned[v] = time.Now()
+	at := time.Now()
+	bs.assigned[v] = at
+	// Policy append (not forced): the log is sequential, so the fsync
+	// that makes this version's *commit* durable also covers the
+	// assign record — a commit can never be durable without its
+	// assignment. An assign lost on its own is just a version that
+	// never happened.
+	if err := s.appendLocked(false, encodeAssign(id, d, at)); err != nil {
+		return Assignment{}, err
+	}
 	return Assignment{Version: v, Off: off, Size: after, Descs: bs.descsSinceLocked(since)}, nil
 }
 
@@ -187,6 +206,12 @@ func (s *State) Commit(id blob.ID, v blob.Version) error {
 	}
 	if v == blob.NoVersion || v > bs.hist.Latest() {
 		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	// Forced sync *before* the in-memory publish advances: the ack the
+	// client is about to receive promises the version survives a
+	// crash, so the record must be on disk first.
+	if err := s.appendLocked(true, encodeVersionRec(recCommit, id, v)); err != nil {
+		return err
 	}
 	bs.committed[v-1] = true
 	delete(bs.assigned, v)
@@ -230,6 +255,12 @@ func (s *State) Abort(id blob.ID, v blob.Version) error {
 		return fmt.Errorf("vmanager: version %d already committed", v)
 	}
 	bs.hist.Descs[v-1].Aborted = true
+	// Policy append: if this record is lost, the version stays in
+	// `assigned` after recovery and the janitor re-runs the abort.
+	if err := s.appendLocked(false, encodeVersionRec(recAbort, id, v)); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	meta := bs.meta
 	hist := bs.hist.Clone()
 	repair := s.repair
@@ -314,6 +345,12 @@ func (s *State) Prune(id blob.ID, keep blob.Version) (from blob.Version, err err
 		return keep, nil
 	}
 	bs.prunedBelow = keep
+	// Forced sync: the caller garbage-collects payloads based on this
+	// answer; forgetting the prune point after a crash would leave the
+	// manager offering versions whose blocks are already gone.
+	if err := s.appendLocked(true, encodeVersionRec(recPrune, id, keep)); err != nil {
+		return 0, err
+	}
 	return from, nil
 }
 
@@ -360,7 +397,13 @@ func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration)
 	}
 	select {
 	case <-ch:
-		return s.Latest(id)
+		pub, size, err := s.Latest(id)
+		if err == nil && pub < v {
+			// Woken by ReleaseWaiters (shutdown/crash), not by the
+			// publication: report a timeout, never a false success.
+			return pub, size, ErrTimeout
+		}
+		return pub, size, err
 	case <-timer:
 		// Deregister, or every timed-out poll would leak its waiter
 		// slot (and channel) in bs.waiters until publication.
@@ -393,6 +436,22 @@ func (s *State) PendingWaiters(id blob.ID) int {
 		return 0
 	}
 	return len(bs.waiters)
+}
+
+// ReleaseWaiters wakes every registered WaitPublished waiter across
+// all blobs. Woken waiters whose version has not published report
+// ErrTimeout. Used at shutdown and by the chaos harness: a crashing
+// manager must not leave handlers blocked (they would stall the
+// server drain for their full wait timeout).
+func (s *State) ReleaseWaiters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, bs := range s.blobs {
+		for _, w := range bs.waiters {
+			close(w.ch)
+		}
+		bs.waiters = nil
+	}
 }
 
 // Expired returns in-flight (blob, version) pairs assigned longer than

@@ -10,6 +10,15 @@
 //	blobseerd -role provider  -listen 127.0.0.1:7201 -pmanager 127.0.0.1:7002 -host host-0
 //	blobseerd -role provider  -listen 127.0.0.1:7202 -pmanager 127.0.0.1:7002 -host host-1
 //
+// The version manager can be sharded K ways: start K vmanager daemons,
+// each with -shard k/K (shard k then owns the blob IDs congruent to k
+// mod K and keeps its own WAL), and hand every consumer the full
+// comma-separated shard list in shard order:
+//
+//	blobseerd -role vmanager  -listen 127.0.0.1:7001 -shard 0/2 -meta ...
+//	blobseerd -role vmanager  -listen 127.0.0.1:7011 -shard 1/2 -meta ...
+//	blobseerd -role namespace -listen 127.0.0.1:7003 -vmanager 127.0.0.1:7001,127.0.0.1:7011
+//
 // The self-healing plane adds two moving parts: providers heartbeat
 // their store statistics to the provider manager (-heartbeat), which
 // expires silent ones (-expire-after), and a repair daemon restores
@@ -67,7 +76,8 @@ func main() {
 		metaRepl = flag.Int("meta-replication", 1, "DHT replication level (vmanager repair path)")
 		metaCach = flag.Int("meta-cache", 0, "vmanager: immutable-node cache entries for the repair store (<0 default, 0 off)")
 		noRepair = flag.Bool("no-repair", false, "vmanager: disable metadata abort repair")
-		vmAddr   = flag.String("vmanager", "", "version manager address (namespace role)")
+		shard    = flag.String("shard", "", "vmanager: shard identity k/K (e.g. 0/4); empty = unsharded")
+		vmAddr   = flag.String("vmanager", "", "version manager address, comma-separated shard list when sharded (namespace/repair roles)")
 		pmAddr   = flag.String("pmanager", "", "provider manager address (provider role; registers at startup)")
 		nnAddr   = flag.String("namenode", "", "namenode address (datanode role; registers at startup)")
 		host     = flag.String("host", "", "physical host label exposed for affinity scheduling (provider/datanode)")
@@ -151,7 +161,7 @@ func main() {
 		ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
 		dhtClient := dht.NewClient(ring, pool, *metaRepl)
 		eng := repair.New(repair.Config{
-			VM:          vmanager.NewClient(pool, *vmAddr),
+			VM:          vmClient(pool, *vmAddr),
 			PM:          pmanager.NewClient(pool, *pmAddr),
 			Prov:        provider.NewClient(pool),
 			Meta:        mdtree.MaybeCache(mdtree.NewDHTStore(dhtClient), *metaCach),
@@ -188,16 +198,23 @@ func main() {
 			st := mdtree.MaybeCache(mdtree.NewDHTStore(dht.NewClient(ring, pool, *metaRepl)), *metaCach)
 			repair = vmanager.MetadataRepairer(st)
 		}
+		si := parseShard(*shard)
+		walName := "vmanager"
+		if si.Count > 1 {
+			// One WAL per shard: kill/restart/recovery never crosses
+			// shard boundaries.
+			walName = filepath.Join("vmanager", fmt.Sprintf("shard-%d", si.Index))
+		}
 		var state *vmanager.State
-		if l := openWAL("vmanager"); l != nil {
+		if l := openWAL(walName); l != nil {
 			var err error
-			if state, err = vmanager.Recover(l, repair); err != nil {
+			if state, err = vmanager.RecoverShard(l, repair, si); err != nil {
 				log.Fatalf("vmanager: recover from WAL: %v", err)
 			}
 			st := l.Status()
-			log.Printf("vmanager: recovered from WAL (%d segment(s), %d bytes)", st.Segments, st.LogBytes)
+			log.Printf("vmanager: shard %d/%d recovered from WAL (%d segment(s), %d bytes)", si.Index, si.Count, st.Segments, st.LogBytes)
 		} else {
-			state = vmanager.NewState(repair)
+			state = vmanager.NewShardState(repair, si)
 		}
 		svc := vmanager.NewService(state)
 		if *wtimeout > 0 {
@@ -229,7 +246,7 @@ func main() {
 			log.Fatal("namespace: -vmanager is required")
 		}
 		pool := rpc.NewPool(rpc.TCPDialer)
-		creator := namespace.VMBlobCreator(vmanager.NewClient(pool, *vmAddr))
+		creator := namespace.VMBlobCreator(vmClient(pool, *vmAddr))
 		var state *namespace.State
 		if l := openWAL("namespace"); l != nil {
 			var err error
@@ -349,4 +366,26 @@ func splitAddrs(s string) []string {
 		}
 	}
 	return out
+}
+
+// vmClient turns a -vmanager flag value (one address, or the full
+// comma-separated shard list in shard order) into the matching client.
+func vmClient(pool *rpc.Pool, flagVal string) vmanager.API {
+	addrs := splitAddrs(flagVal)
+	if len(addrs) > 1 {
+		return vmanager.NewRouter(pool, addrs)
+	}
+	return vmanager.NewClient(pool, addrs[0])
+}
+
+// parseShard parses -shard "k/K" into a ShardInfo ("" = unsharded).
+func parseShard(s string) vmanager.ShardInfo {
+	if s == "" {
+		return vmanager.ShardInfo{}
+	}
+	var k, n int
+	if c, err := fmt.Sscanf(s, "%d/%d", &k, &n); err != nil || c != 2 || n < 1 || k < 0 || k >= n {
+		log.Fatalf("vmanager: bad -shard %q (want k/K with 0 <= k < K)", s)
+	}
+	return vmanager.ShardInfo{Index: k, Count: n}
 }

@@ -24,7 +24,8 @@
 //
 // Connection flags:
 //
-//	-vmanager  version manager address   (default 127.0.0.1:7001)
+//	-vmanager  comma-separated version manager shard addresses, shard
+//	           order (default 127.0.0.1:7001)
 //	-pmanager  provider manager address  (default 127.0.0.1:7002)
 //	-namespace namespace manager address (default 127.0.0.1:7003)
 //	-meta      comma-separated metadata provider addresses
@@ -86,7 +87,7 @@ flags:
 
 func main() {
 	var (
-		vmAddr  = flag.String("vmanager", "127.0.0.1:7001", "version manager address")
+		vmAddr  = flag.String("vmanager", "127.0.0.1:7001", "comma-separated version manager shard addresses (shard order)")
 		pmAddr  = flag.String("pmanager", "127.0.0.1:7002", "provider manager address")
 		nsAddr  = flag.String("namespace", "127.0.0.1:7003", "namespace manager address")
 		metas   = flag.String("meta", "127.0.0.1:7101", "comma-separated metadata provider addresses")
@@ -128,17 +129,25 @@ func main() {
 	ctx := context.Background()
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
+	// One client surface over every version-manager shard: a plain
+	// client for a single address, a Router for a comma-separated list.
+	vmAddrs := splitAddrs(*vmAddr)
+	if len(vmAddrs) == 0 {
+		fatal(fmt.Errorf("-vmanager: no addresses"))
+	}
+	vm := core.NewVMClient(pool, vmAddrs[0], vmAddrs)
+
 	// The maintenance commands speak to the managers directly — no
 	// file-system layer involved.
 	switch cmd {
 	case "vm":
-		if err := runVM(ctx, vmanager.NewClient(pool, *vmAddr), args); err != nil {
+		if err := runVM(ctx, vm, args); err != nil {
 			fatal(err)
 		}
 		return
 	case "providers", "decommission":
 		eng := repair.New(repair.Config{
-			VM:      vmanager.NewClient(pool, *vmAddr),
+			VM:      vm,
 			PM:      pmanager.NewClient(pool, *pmAddr),
 			Prov:    provider.NewClient(pool),
 			Meta:    mdtree.MaybeCache(metaStore, *mcache),
@@ -154,7 +163,8 @@ func main() {
 	fsys, err := bsfs.New(bsfs.Config{
 		Core: core.NewClient(core.Config{
 			Pool:          pool,
-			VMAddr:        *vmAddr,
+			VMAddr:        vmAddrs[0],
+			VMAddrs:       vmAddrs,
 			PMAddr:        *pmAddr,
 			MetaStore:     metaStore,
 			Host:          *host,
@@ -178,42 +188,70 @@ func main() {
 	}
 }
 
-// runVM handles the version-manager maintenance commands.
-func runVM(ctx context.Context, vm *vmanager.Client, args []string) error {
+// vmShardClients flattens the client surface back to one client per
+// shard so the maintenance commands can address each shard directly.
+func vmShardClients(vm vmanager.API) []*vmanager.Client {
+	switch v := vm.(type) {
+	case *vmanager.Router:
+		return v.Shards()
+	case *vmanager.Client:
+		return []*vmanager.Client{v}
+	}
+	return nil
+}
+
+// runVM handles the version-manager maintenance commands, reporting
+// every shard in shard order.
+func runVM(ctx context.Context, vm vmanager.API, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("vm: want status | snapshot")
 	}
+	shards := vmShardClients(vm)
 	switch args[0] {
 	case "status":
-		st, err := vm.WALStatus(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("WAL directory:   %s\n", st.Dir)
-		fmt.Printf("segments:        %d (seq %d..%d, %d bytes)\n",
-			st.Segments, st.FirstSeq, st.LastSeq, st.LogBytes)
-		if st.SnapshotSeq > 0 {
-			fmt.Printf("last snapshot:   seq %d\n", st.SnapshotSeq)
-		} else {
-			fmt.Printf("last snapshot:   none\n")
-		}
-		fmt.Printf("records (since open): %d\n", st.Records)
-		if st.LastSyncUnix > 0 {
-			fmt.Printf("last fsync:      %s\n", time.Unix(st.LastSyncUnix, 0).Format(time.RFC3339))
-		} else {
-			fmt.Printf("last fsync:      never\n")
+		for k, c := range shards {
+			rep, err := c.Status(ctx)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", k, err)
+			}
+			st, ops := rep.WAL, rep.Ops
+			if len(shards) > 1 {
+				fmt.Printf("--- shard %d/%d ---\n", k, len(shards))
+			}
+			fmt.Printf("WAL directory:   %s\n", st.Dir)
+			fmt.Printf("segments:        %d (seq %d..%d, %d bytes)\n",
+				st.Segments, st.FirstSeq, st.LastSeq, st.LogBytes)
+			if st.SnapshotSeq > 0 {
+				fmt.Printf("last snapshot:   seq %d\n", st.SnapshotSeq)
+			} else {
+				fmt.Printf("last snapshot:   none\n")
+			}
+			fmt.Printf("records (since open): %d\n", st.Records)
+			fmt.Printf("fsyncs (since open):  %d\n", st.Syncs)
+			if st.LastSyncUnix > 0 {
+				fmt.Printf("last fsync:      %s\n", time.Unix(st.LastSyncUnix, 0).Format(time.RFC3339))
+			} else {
+				fmt.Printf("last fsync:      never\n")
+			}
+			fmt.Printf("ops: create=%d assign=%d commit=%d abort=%d latest=%d wait=%d (total %d)\n",
+				ops.Create, ops.Assign, ops.Commit, ops.Abort, ops.Latest, ops.Wait, ops.Total())
 		}
 		return nil
 	case "snapshot":
-		if err := vm.ForceSnapshot(ctx); err != nil {
-			return err
+		for k, c := range shards {
+			if err := c.ForceSnapshot(ctx); err != nil {
+				return fmt.Errorf("shard %d: %w", k, err)
+			}
+			st, err := c.WALStatus(ctx)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", k, err)
+			}
+			if len(shards) > 1 {
+				fmt.Printf("shard %d: ", k)
+			}
+			fmt.Printf("snapshot written (seq %d); log compacted to %d segment(s), %d bytes\n",
+				st.SnapshotSeq, st.Segments, st.LogBytes)
 		}
-		st, err := vm.WALStatus(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("snapshot written (seq %d); log compacted to %d segment(s), %d bytes\n",
-			st.SnapshotSeq, st.Segments, st.LogBytes)
 		return nil
 	}
 	return fmt.Errorf("unknown vm command %q (want status | snapshot)", args[0])

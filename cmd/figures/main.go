@@ -7,6 +7,7 @@
 //	figures -fig 4           # only Figure 4
 //	figures -fig 6b -quick   # Figure 6b, coarse sweep
 //	figures -ablations       # the design-choice ablations of DESIGN.md
+//	figures -vmshard         # control-plane sharding + group commit, BENCH_vmshard.json
 //	figures -selftest        # live-stack sanity check before a long sweep
 //
 // Expected output shapes are documented in EXPERIMENTS.md; the shape
@@ -71,6 +72,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "coarse sweeps (3 points per curve)")
 		ablations = flag.Bool("ablations", false, "run the ablation experiments instead of the figures")
 		recovery  = flag.Bool("recovery", false, "run the crash-recovery ablation and write BENCH_recovery.json")
+		vmshard   = flag.Bool("vmshard", false, "run the control-plane sharding ablation and write BENCH_vmshard.json")
 		check     = flag.Bool("selftest", false, "run a live-stack handle-API sanity check and exit")
 	)
 	flag.Parse()
@@ -97,6 +99,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_recovery.json")
+		return
+	}
+
+	if *vmshard {
+		r, err := bench.VMShardScalingBench(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: vmshard bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.Table("Control-plane sharding — publish throughput vs shard count (8 writers)", r.ShardScaling))
+		fmt.Println(bench.Table("WAL group commit — durable publish rate vs concurrent writers", r.GroupCommit))
+		if err := r.WriteJSON("BENCH_vmshard.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_vmshard.json")
 		return
 	}
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"path/filepath"
 
+	"blobseer/internal/core"
 	"blobseer/internal/namespace"
 	"blobseer/internal/rpc"
 	"blobseer/internal/vmanager"
@@ -27,18 +28,38 @@ func (c *BlobSeer) walOptions() wal.Options {
 	return wal.Options{Policy: wal.SyncAlways}
 }
 
-// newVMState builds the version-manager core: recovered from the WAL
-// when DataDir is set, fresh and volatile otherwise.
-func (c *BlobSeer) newVMState() (*vmanager.State, error) {
-	repairer := vmanager.MetadataRepairer(c.MetaStore)
-	if c.Cfg.DataDir == "" {
-		return vmanager.NewState(repairer), nil
+// vmName is shard k's endpoint name; shard 0 keeps the historical
+// "vmanager" name so single-shard deployments are wire-identical.
+func (c *BlobSeer) vmName(k int) string {
+	if k == 0 {
+		return "vmanager"
 	}
-	log, err := wal.Open(filepath.Join(c.Cfg.DataDir, "vmanager"), c.walOptions())
+	return fmt.Sprintf("vmanager-%d", k)
+}
+
+// vmWALDir is shard k's log directory. A single shard keeps the
+// historical flat layout; sharded deployments nest one WAL per shard,
+// so kill/restart/recovery is fully independent across shards.
+func (c *BlobSeer) vmWALDir(k int) string {
+	if c.Cfg.VMShards <= 1 {
+		return filepath.Join(c.Cfg.DataDir, "vmanager")
+	}
+	return filepath.Join(c.Cfg.DataDir, "vmanager", fmt.Sprintf("shard-%d", k))
+}
+
+// newVMState builds shard k's version-manager core: recovered from its
+// WAL when DataDir is set, fresh and volatile otherwise.
+func (c *BlobSeer) newVMState(k int) (*vmanager.State, error) {
+	repairer := vmanager.MetadataRepairer(c.MetaStore)
+	si := vmanager.ShardInfo{Index: k, Count: c.Cfg.VMShards}
+	if c.Cfg.DataDir == "" {
+		return vmanager.NewShardState(repairer, si), nil
+	}
+	log, err := wal.Open(c.vmWALDir(k), c.walOptions())
 	if err != nil {
 		return nil, err
 	}
-	st, err := vmanager.Recover(log, repairer)
+	st, err := vmanager.RecoverShard(log, repairer, si)
 	if err != nil {
 		log.Close()
 		return nil, err
@@ -46,9 +67,15 @@ func (c *BlobSeer) newVMState() (*vmanager.State, error) {
 	return st, nil
 }
 
+// newVMAPI builds the deployment's version-manager client surface: a
+// plain client for one shard, a Router across all of them otherwise.
+func (c *BlobSeer) newVMAPI() vmanager.API {
+	return core.NewVMClient(c.Pool, c.VMAddr, c.VMAddrs)
+}
+
 // newNSState builds the namespace core, WAL-recovered when durable.
 func (c *BlobSeer) newNSState() (*namespace.State, error) {
-	creator := namespace.VMBlobCreator(vmanager.NewClient(c.Pool, c.VMAddr))
+	creator := namespace.VMBlobCreator(c.newVMAPI())
 	if c.Cfg.DataDir == "" {
 		return namespace.NewState(creator), nil
 	}
@@ -92,21 +119,23 @@ func (c *BlobSeer) addServer(addr string, srv *rpc.Server) {
 	c.serversMu.Unlock()
 }
 
-// KillVManager crashes the version manager: its server goes down
-// mid-flight, the janitor stops, and the WAL is released so a restart
-// can reopen it. Pending WaitPublished waiters die with the server —
-// their clients see a transport failure and (with the retrying client)
-// re-arm against the recovered instance.
-func (c *BlobSeer) KillVManager() {
-	c.vmSvc.StopJanitor()
+// KillVMShard crashes version-manager shard k: its server goes down
+// mid-flight, its janitor stops, and its WAL is released so a restart
+// can reopen it. Pending WaitPublished waiters on that shard die with
+// the server — their clients see a transport failure and (with the
+// retrying client) re-arm against the recovered instance. Sibling
+// shards are untouched and keep publishing throughout.
+func (c *BlobSeer) KillVMShard(k int) {
+	svc := c.vmSvcs[k]
+	svc.StopJanitor()
 	// Sever conns first (no response can reach a client), then wake
 	// parked WaitPublished handlers, then drain. Without the release a
 	// "crash" would block on armed waiters for their full timeout.
-	srv := c.takeServer(c.VMAddr)
+	srv := c.takeServer(c.VMAddrs[k])
 	if srv != nil {
 		srv.Sever()
 	}
-	c.vmSvc.State().ReleaseWaiters()
+	svc.State().ReleaseWaiters()
 	if srv != nil {
 		srv.Close()
 	}
@@ -114,27 +143,48 @@ func (c *BlobSeer) KillVManager() {
 	// the closest faithful crash point. Every client-acknowledged
 	// publish was AppendSync'd before its ack, so the interesting
 	// durability property is still exercised.
-	c.vmSvc.State().CloseWAL()
+	svc.State().CloseWAL()
 }
 
-// RestartVManager recovers the version manager from its WAL (or from
-// nothing without one) and serves it on the original address.
-func (c *BlobSeer) RestartVManager() error {
-	st, err := c.newVMState()
+// RestartVMShard recovers shard k from its WAL (or from nothing
+// without one) and serves it on its original address.
+func (c *BlobSeer) RestartVMShard(k int) error {
+	st, err := c.newVMState(k)
 	if err != nil {
-		return fmt.Errorf("cluster: restart vmanager: %w", err)
+		return fmt.Errorf("cluster: restart vmanager shard %d: %w", k, err)
 	}
-	c.vmSvc = vmanager.NewService(st)
+	svc := vmanager.NewService(st)
 	if c.Cfg.WriteTimeout > 0 {
-		c.vmSvc.StartJanitor(c.Cfg.WriteTimeout, c.Cfg.WriteTimeout/2)
+		svc.StartJanitor(c.Cfg.WriteTimeout, c.Cfg.WriteTimeout/2)
 	}
-	lis, err := c.relisten("vmanager", c.VMAddr)
+	lis, err := c.relisten(c.vmName(k), c.VMAddrs[k])
 	if err != nil {
-		return fmt.Errorf("cluster: restart vmanager: %w", err)
+		svc.StopJanitor()
+		return fmt.Errorf("cluster: restart vmanager shard %d: %w", k, err)
 	}
-	srv := rpc.NewServer(c.vmSvc.Mux())
-	c.addServer(c.VMAddr, srv)
+	c.vmSvcs[k] = svc
+	srv := rpc.NewServer(svc.Mux())
+	c.addServer(c.VMAddrs[k], srv)
 	go srv.Serve(lis)
+	return nil
+}
+
+// KillVManager crashes every version-manager shard (the whole control
+// plane; single-shard deployments keep their historical semantics).
+func (c *BlobSeer) KillVManager() {
+	for k := range c.vmSvcs {
+		c.KillVMShard(k)
+	}
+}
+
+// RestartVManager recovers every shard from its WAL (or from nothing
+// without one) and serves each on its original address.
+func (c *BlobSeer) RestartVManager() error {
+	for k := range c.vmSvcs {
+		if err := c.RestartVMShard(k); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

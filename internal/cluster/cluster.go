@@ -56,6 +56,14 @@ type Config struct {
 	RepairInterval    time.Duration // background repair scan period (0 = on-demand via RepairEngine only)
 	RepairConcurrency int           // parallel block repairs (0 = repair.DefaultConcurrency)
 
+	// VMShards runs K independent version-manager shard services
+	// instead of one. Shard k owns the blob IDs with
+	// vmanager.ShardOf(id, K) == k and keeps its own WAL (under
+	// DataDir/vmanager/shard-<k> when durable); clients route through a
+	// vmanager.Router, so publish throughput scales with K. 0/1 keeps
+	// the classic single manager.
+	VMShards int
+
 	// Crash durability (the control-plane WAL). DataDir enables
 	// write-ahead logging for the version manager and the namespace
 	// under DataDir/vmanager and DataDir/namespace; both recover their
@@ -92,6 +100,9 @@ func (c *Config) fill() {
 	if c.Strategy == nil {
 		c.Strategy = placement.NewRoundRobin()
 	}
+	if c.VMShards == 0 {
+		c.VMShards = 1
+	}
 	if c.ReadaheadBlocks == 0 {
 		c.ReadaheadBlocks = bsfs.DefaultReadaheadBlocks
 	}
@@ -104,7 +115,8 @@ func (c *Config) fill() {
 type BlobSeer struct {
 	Cfg           Config
 	Pool          *rpc.Pool
-	VMAddr        string
+	VMAddr        string   // shard 0's address (the whole manager when unsharded)
+	VMAddrs       []string // every version-manager shard, in shard order
 	PMAddr        string
 	NSAddr        string
 	ProviderAddrs []string
@@ -112,7 +124,7 @@ type BlobSeer struct {
 	MetaStore     mdtree.Store
 	Overlay       *repair.Overlay
 
-	vmSvc    *vmanager.Service
+	vmSvcs   []*vmanager.Service // per shard, in shard order
 	pmSvc    *pmanager.Service
 	nsSvc    *namespace.Service
 	provSvcs map[string]*provider.Service
@@ -200,23 +212,28 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	// are tiny KV entries under their own namespace.
 	c.Overlay = repair.NewOverlay(dhtClient)
 
-	// Version manager (with abort repair over the DHT, recovered from
-	// its WAL when the deployment is durable).
-	vmState, err := c.newVMState()
-	if err != nil {
-		c.Stop()
-		return nil, err
+	// Version manager shards (with abort repair over the DHT, each
+	// recovered from its own WAL when the deployment is durable).
+	for k := 0; k < cfg.VMShards; k++ {
+		vmState, err := c.newVMState(k)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		svc := vmanager.NewService(vmState)
+		if cfg.WriteTimeout > 0 {
+			svc.StartJanitor(cfg.WriteTimeout, cfg.WriteTimeout/2)
+		}
+		addr, err := serve(c.vmName(k), svc.Mux())
+		if err != nil {
+			svc.StopJanitor()
+			c.Stop()
+			return nil, err
+		}
+		c.vmSvcs = append(c.vmSvcs, svc)
+		c.VMAddrs = append(c.VMAddrs, addr)
 	}
-	c.vmSvc = vmanager.NewService(vmState)
-	if cfg.WriteTimeout > 0 {
-		c.vmSvc.StartJanitor(cfg.WriteTimeout, cfg.WriteTimeout/2)
-	}
-	vmAddr, err := serve("vmanager", c.vmSvc.Mux())
-	if err != nil {
-		c.Stop()
-		return nil, err
-	}
-	c.VMAddr = vmAddr
+	c.VMAddr = c.VMAddrs[0]
 
 	// Provider manager (with the liveness-expiry loop when configured).
 	c.pmSvc = pmanager.NewService(pmanager.NewState(cfg.Strategy))
@@ -266,7 +283,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	// drive RunOnce directly); the background loop only runs when a
 	// scan period is configured.
 	c.repairEng = repair.New(repair.Config{
-		VM:          vmanager.NewClient(c.Pool, c.VMAddr),
+		VM:          c.newVMAPI(),
 		PM:          pmanager.NewClient(c.Pool, c.PMAddr),
 		Prov:        provider.NewClient(c.Pool),
 		Meta:        c.MetaStore,
@@ -341,7 +358,7 @@ func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
 func (c *BlobSeer) NewClient(host string) *core.Client {
 	return core.NewClient(core.Config{
 		Pool:          c.Pool,
-		VMAddr:        c.VMAddr,
+		VMAddrs:       c.VMAddrs,
 		PMAddr:        c.PMAddr,
 		MetaStore:     c.MetaStore,
 		Host:          host,
@@ -365,8 +382,14 @@ func (c *BlobSeer) NewBSFS(host string) (*bsfs.FS, error) {
 	})
 }
 
-// VMService exposes the version manager (tests).
-func (c *BlobSeer) VMService() *vmanager.Service { return c.vmSvc }
+// VMService exposes the version manager — shard 0 when sharded (tests).
+func (c *BlobSeer) VMService() *vmanager.Service { return c.vmSvcs[0] }
+
+// VMServiceShard exposes one version-manager shard (tests).
+func (c *BlobSeer) VMServiceShard(k int) *vmanager.Service { return c.vmSvcs[k] }
+
+// VMShards reports the configured shard count.
+func (c *BlobSeer) VMShards() int { return len(c.vmSvcs) }
 
 // NSService exposes the namespace manager (tests).
 func (c *BlobSeer) NSService() *namespace.Service { return c.nsSvc }
@@ -396,8 +419,8 @@ func (c *BlobSeer) Stop() {
 	if c.pmSvc != nil {
 		c.pmSvc.StopExpiry()
 	}
-	if c.vmSvc != nil {
-		c.vmSvc.StopJanitor()
+	for _, svc := range c.vmSvcs {
+		svc.StopJanitor()
 	}
 	c.serversMu.Lock()
 	servers := append([]*rpc.Server(nil), c.servers...)
@@ -408,16 +431,16 @@ func (c *BlobSeer) Stop() {
 	// Parked WaitPublished handlers would stall the drain below for
 	// their full wait timeout; wake them now that no response can
 	// reach a client.
-	if c.vmSvc != nil {
-		c.vmSvc.State().ReleaseWaiters()
+	for _, svc := range c.vmSvcs {
+		svc.State().ReleaseWaiters()
 	}
 	for _, s := range servers {
 		s.Close()
 	}
 	// Graceful shutdown: flush the control-plane logs (the SIGTERM
 	// path of blobseerd does the same).
-	if c.vmSvc != nil {
-		c.vmSvc.State().CloseWAL()
+	for _, svc := range c.vmSvcs {
+		svc.State().CloseWAL()
 	}
 	if c.nsSvc != nil {
 		c.nsSvc.State().CloseWAL()

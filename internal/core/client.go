@@ -59,8 +59,14 @@ const (
 
 // Config wires a Client to a deployment.
 type Config struct {
-	Pool      *rpc.Pool
-	VMAddr    string       // version manager endpoint
+	Pool   *rpc.Pool
+	VMAddr string // version manager endpoint (single-shard deployments)
+	// VMAddrs lists the version-manager shard endpoints in shard order
+	// for a sharded control plane (addr k serves the blob IDs with
+	// vmanager.ShardOf(id, K) == k). When set it takes precedence over
+	// VMAddr; more than one address routes every call through a
+	// vmanager.Router.
+	VMAddrs   []string
 	PMAddr    string       // provider manager endpoint
 	MetaStore mdtree.Store // metadata DHT (mdtree.NewDHTStore) or test store
 	Host      string       // this client's host name, for locality-aware placement
@@ -110,7 +116,7 @@ type LocationOverlay interface {
 // Client is a BlobSeer client. It is safe for concurrent use; all
 // state it keeps is cache (histories, provider host map).
 type Client struct {
-	vm         *vmanager.Client
+	vm         vmanager.API
 	pm         *pmanager.Client
 	prov       *provider.Client
 	meta       mdtree.Store
@@ -152,7 +158,7 @@ const maxSizeCacheEntries = 4096
 func NewClient(cfg Config) *Client {
 	meta := mdtree.MaybeCache(cfg.MetaStore, cfg.MetaCacheSize)
 	return &Client{
-		vm:         vmanager.NewClient(cfg.Pool, cfg.VMAddr),
+		vm:         NewVMClient(cfg.Pool, cfg.VMAddr, cfg.VMAddrs),
 		pm:         pmanager.NewClient(cfg.Pool, cfg.PMAddr),
 		prov:       provider.NewClient(cfg.Pool),
 		meta:       meta,
@@ -237,8 +243,23 @@ func newNonceSource() nonceSource {
 func (n nonceSource) next() uint64 { return n.base + n.counter.Add(1) }
 
 // VM exposes the version-manager client (BSFS and tools need direct
-// access for size/stat queries).
-func (c *Client) VM() *vmanager.Client { return c.vm }
+// access for size/stat queries). In a sharded deployment this is a
+// *vmanager.Router; otherwise a *vmanager.Client.
+func (c *Client) VM() vmanager.API { return c.vm }
+
+// NewVMClient builds the version-manager client surface for a
+// deployment: a plain per-address client when there is one endpoint,
+// a shard Router when there are several. addrs wins over addr.
+func NewVMClient(pool *rpc.Pool, addr string, addrs []string) vmanager.API {
+	switch {
+	case len(addrs) > 1:
+		return vmanager.NewRouter(pool, addrs)
+	case len(addrs) == 1:
+		return vmanager.NewClient(pool, addrs[0])
+	default:
+		return vmanager.NewClient(pool, addr)
+	}
+}
 
 // Create allocates a new empty BLOB.
 func (c *Client) Create(ctx context.Context, blockSize int64, replication int) (blob.Meta, error) {

@@ -41,8 +41,9 @@ type entry struct {
 // uses the version manager; tests may stub it.
 type BlobCreator func(ctx context.Context, blockSize int64, replication int) (blob.ID, error)
 
-// VMBlobCreator builds a BlobCreator over a version-manager client.
-func VMBlobCreator(vm *vmanager.Client) BlobCreator {
+// VMBlobCreator builds a BlobCreator over a version-manager client
+// (or shard Router — new files then spread across the control plane).
+func VMBlobCreator(vm vmanager.API) BlobCreator {
 	return func(ctx context.Context, blockSize int64, replication int) (blob.ID, error) {
 		m, err := vm.CreateBlob(ctx, blockSize, replication)
 		if err != nil {

@@ -23,7 +23,7 @@ const (
 
 // Config wires an Engine to a deployment.
 type Config struct {
-	VM      *vmanager.Client
+	VM      vmanager.API // single-shard client or sharded Router
 	PM      *pmanager.Client
 	Prov    *provider.Client
 	Meta    mdtree.Store // metadata tree store (scan path)

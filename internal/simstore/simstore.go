@@ -37,6 +37,7 @@ type Tuning struct {
 
 	HDFSChunkSetup sim.Time // namenode alloc + pipeline setup per chunk
 	VMService      sim.Time // version-manager service per op (the serialization point)
+	VMShards       int      // control-plane shards; blob id % K picks the serving shard (0/1 = single manager)
 	NNService      sim.Time // namenode service per op
 	MetaService    sim.Time // metadata provider service per op
 	MetaFanout     int      // concurrent per-provider batch RPCs per client
@@ -137,7 +138,7 @@ type BSFS struct {
 	metaNode  map[string]simnet.NodeID
 	metaAddrs []string
 	ring      *dht.Ring
-	vmRes     *sim.Resource
+	vmRes     []*sim.Resource // one service queue per control-plane shard
 	metaRes   map[string]*sim.Resource
 	readRR    int // rotates the replica serving each extent fetch
 
@@ -155,6 +156,10 @@ type BSFS struct {
 // (and provider manager) on vmNode, metadata providers on metaNodes,
 // data providers on provNodes — the paper's Section V-C layout.
 func NewBSFS(net *simnet.Net, tun Tuning, strategy placement.Strategy, vmNode simnet.NodeID, metaNodes, provNodes []simnet.NodeID) *BSFS {
+	shards := tun.VMShards
+	if shards < 1 {
+		shards = 1
+	}
 	b := &BSFS{
 		Env: net.Env(), Net: net, Tun: tun,
 		VM:       vmanager.NewState(nil),
@@ -164,9 +169,12 @@ func NewBSFS(net *simnet.Net, tun Tuning, strategy placement.Strategy, vmNode si
 		provNode: make(map[string]simnet.NodeID),
 		metaNode: make(map[string]simnet.NodeID),
 		metaRes:  make(map[string]*sim.Resource),
-		vmRes:    net.Env().NewResource(1),
+		vmRes:    make([]*sim.Resource, shards),
 		dead:     make(map[string]bool),
 		overlay:  make(map[string][]string),
+	}
+	for k := range b.vmRes {
+		b.vmRes[k] = b.Env.NewResource(1)
 	}
 	for _, n := range provNodes {
 		addr := fmt.Sprintf("provider-%d", n)
@@ -215,6 +223,15 @@ func (b *BSFS) chargeMetaOps(p *sim.Proc, client simnet.NodeID, keys []string) {
 		b.Net.Message(cp, client, b.metaNode[addr], 64+int64(len(batch))*192)
 		b.metaRes[addr].Use(cp, b.Tun.MetaService*sim.Time(len(batch)))
 	})
+}
+
+// vmShardRes returns the service queue of the version-manager shard
+// owning id, mirroring vmanager.ShardOf.
+func (b *BSFS) vmShardRes(id blob.ID) *sim.Resource {
+	if len(b.vmRes) == 1 {
+		return b.vmRes[0]
+	}
+	return b.vmRes[vmanager.ShardOf(id, len(b.vmRes))]
 }
 
 // writeCap and readCap are the per-flow rate ceilings: single-stream
@@ -280,9 +297,12 @@ func (b *BSFS) Write(p *sim.Proc, client simnet.NodeID, id blob.ID, kind blob.Wr
 		done.Wait(cp)
 	})
 
-	// Phase 2a: version assignment — the only serialized step.
+	// Phase 2a: version assignment — the only serialized step, queued
+	// on the service resource of the shard owning this blob (the
+	// simulated twin of the Router's hash(id) % K dispatch). Writers to
+	// blobs on different shards never share a queue.
 	b.Net.Message(p, client, b.vmNode, 128)
-	b.vmRes.Use(p, b.Tun.VMService)
+	b.vmShardRes(id).Use(p, b.Tun.VMService)
 	a, err := b.VM.AssignVersion(id, kind, off, size, nonce, 0)
 	if err != nil {
 		return 0, err

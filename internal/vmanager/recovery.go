@@ -54,17 +54,28 @@ func encodeVersionRec(t uint8, id blob.ID, v blob.Version) []byte {
 	return b.Bytes()
 }
 
-// Recover rebuilds a version-manager State from the log (snapshot
-// first, then the record suffix) and attaches the log so subsequent
-// mutations are journaled. A fresh/empty log yields a fresh State, so
-// this is the only constructor the durable deployment path needs.
+// Recover rebuilds a single-shard version-manager State from the log
+// (snapshot first, then the record suffix) and attaches the log so
+// subsequent mutations are journaled. A fresh/empty log yields a fresh
+// State, so this is the only constructor the durable deployment path
+// needs.
 //
 // Replay is idempotent: records already reflected in the state (e.g.
 // folded into the snapshot, or replayed twice) are skipped, so
 // recovering from a log that was already recovered once produces the
 // same state.
 func Recover(log *wal.Log, repair Repairer) (*State, error) {
-	s := NewState(repair)
+	return RecoverShard(log, repair, ShardInfo{})
+}
+
+// RecoverShard is Recover for one shard of a sharded deployment. Each
+// shard journals only the blobs it owns into its own log, so shard
+// recovery is fully independent of its siblings. The log must have
+// been written under the same shard topology: replaying a record for a
+// blob this shard does not own fails loudly instead of silently
+// merging foreign state.
+func RecoverShard(log *wal.Log, repair Repairer, si ShardInfo) (*State, error) {
+	s := NewShardState(repair, si)
 	err := log.Replay(func(p []byte, isSnap bool) error {
 		if isSnap {
 			return s.loadSnapshot(p)
@@ -74,8 +85,15 @@ func Recover(log *wal.Log, repair Repairer) (*State, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmanager: recover: %w", err)
 	}
+	s.logMu.Lock()
 	s.log = log
+	s.logMu.Unlock()
 	return s, nil
+}
+
+func (s *State) shardMismatch(id blob.ID) error {
+	return fmt.Errorf("vmanager: blob %d is not owned by shard %d/%d (log written under a different shard topology?)",
+		id, s.shard.Index, s.shard.Count)
 }
 
 // applyRecord folds one WAL record into the state. Mutations here
@@ -87,8 +105,12 @@ func (s *State) applyRecord(p []byte) error {
 	r := wire.NewReader(p)
 	t := r.U8()
 	id := blob.ID(r.U64())
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.Owns(id) {
+		return s.shardMismatch(id)
+	}
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	switch t {
 	case recCreate:
 		blockSize := r.I64()
@@ -96,23 +118,27 @@ func (s *State) applyRecord(p []byte) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		if _, ok := s.blobs[id]; ok {
+		if _, ok := st.blobs[id]; ok {
 			return nil // already applied
 		}
-		s.blobs[id] = &blobState{
+		st.blobs[id] = &blobState{
 			meta:     blob.Meta{ID: id, BlockSize: blockSize, Replication: replication},
 			assigned: make(map[blob.Version]time.Time),
 		}
+		// Re-arm minting past every replayed ID, preserving this
+		// shard's residue class (IDs advance with stride Count).
+		s.idMu.Lock()
 		if id >= s.nextID {
-			s.nextID = id + 1
+			s.nextID = id + blob.ID(s.shard.Count)
 		}
+		s.idMu.Unlock()
 	case recAssign:
 		d := decodeDesc(r)
 		at := time.Unix(0, r.I64())
 		if err := r.Err(); err != nil {
 			return err
 		}
-		bs, ok := s.blobs[id]
+		bs, ok := st.blobs[id]
 		if !ok {
 			return fmt.Errorf("vmanager: assign record for unknown blob %d", id)
 		}
@@ -129,7 +155,7 @@ func (s *State) applyRecord(p []byte) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		bs, ok := s.blobs[id]
+		bs, ok := st.blobs[id]
 		if !ok {
 			return fmt.Errorf("vmanager: commit record for unknown blob %d", id)
 		}
@@ -144,7 +170,7 @@ func (s *State) applyRecord(p []byte) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		bs, ok := s.blobs[id]
+		bs, ok := st.blobs[id]
 		if !ok {
 			return fmt.Errorf("vmanager: abort record for unknown blob %d", id)
 		}
@@ -157,7 +183,7 @@ func (s *State) applyRecord(p []byte) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		bs, ok := s.blobs[id]
+		bs, ok := st.blobs[id]
 		if !ok {
 			return fmt.Errorf("vmanager: prune record for unknown blob %d", id)
 		}
@@ -170,49 +196,61 @@ func (s *State) applyRecord(p []byte) error {
 	return nil
 }
 
-// appendLocked journals a record if a log is attached. Callers hold
-// s.mu, which serializes log order with mutation order — the property
-// replay depends on. force bypasses the interval fsync policy for
-// records that back client-visible acknowledgements.
+// appendStriped journals a record if a log is attached. Callers hold
+// the stripe lock of the blob the record is about, which serializes
+// log order with mutation order *per blob* — the property replay
+// depends on (records for different blobs are independent under
+// replay, so their cross-stripe interleaving is free). force bypasses
+// the interval fsync policy for records that back client-visible
+// acknowledgements.
 //
 // On a log error the in-memory mutation has already happened; the
 // caller surfaces the error so the client treats the operation as
 // failed. The memory/disk divergence this leaves (an assigned version
 // the disk never heard of) is the same shape as a lost in-flight
 // writer, which the janitor already cleans up.
-func (s *State) appendLocked(force bool, p []byte) error {
-	if s.log == nil {
+func (s *State) appendStriped(force bool, p []byte) error {
+	s.logMu.Lock()
+	log := s.log
+	s.logMu.Unlock()
+	if log == nil {
 		return nil
 	}
 	if force {
-		return s.log.AppendSync(p)
+		return log.AppendSync(p)
 	}
-	return s.log.Append(p)
+	return log.Append(p)
 }
 
-// encodeSnapshotLocked serializes the full state. Callers hold s.mu.
-// Layout: u64 nextID | u32 nblobs | per blob: id, blockSize,
-// replication, descs, committed bools, published, prunedBelow,
-// assigned (v, unixNano) pairs.
-func (s *State) encodeSnapshotLocked() []byte {
+// encodeSnapshotAllLocked serializes the full state. Callers hold
+// every stripe lock and idMu. Layout: u64 nextID | u32 nblobs | per
+// blob: id, blockSize, replication, descs, committed bools, published,
+// prunedBelow, assigned (v, unixNano) pairs.
+func (s *State) encodeSnapshotAllLocked() []byte {
 	b := wire.NewBuffer(256)
 	b.U64(uint64(s.nextID))
-	b.U32(uint32(len(s.blobs)))
-	for id, bs := range s.blobs {
-		b.U64(uint64(id))
-		b.I64(bs.meta.BlockSize)
-		b.U32(uint32(bs.meta.Replication))
-		encodeDescs(b, bs.hist.Descs)
-		b.U32(uint32(len(bs.committed)))
-		for _, c := range bs.committed {
-			b.Bool(c)
-		}
-		b.U64(uint64(bs.published))
-		b.U64(uint64(bs.prunedBelow))
-		b.U32(uint32(len(bs.assigned)))
-		for v, at := range bs.assigned {
-			b.U64(uint64(v))
-			b.I64(at.UnixNano())
+	n := 0
+	for i := range s.stripes {
+		n += len(s.stripes[i].blobs)
+	}
+	b.U32(uint32(n))
+	for i := range s.stripes {
+		for id, bs := range s.stripes[i].blobs {
+			b.U64(uint64(id))
+			b.I64(bs.meta.BlockSize)
+			b.U32(uint32(bs.meta.Replication))
+			encodeDescs(b, bs.hist.Descs)
+			b.U32(uint32(len(bs.committed)))
+			for _, c := range bs.committed {
+				b.Bool(c)
+			}
+			b.U64(uint64(bs.published))
+			b.U64(uint64(bs.prunedBelow))
+			b.U32(uint32(len(bs.assigned)))
+			for v, at := range bs.assigned {
+				b.U64(uint64(v))
+				b.I64(at.UnixNano())
+			}
 		}
 	}
 	return b.Bytes()
@@ -220,11 +258,14 @@ func (s *State) encodeSnapshotLocked() []byte {
 
 func (s *State) loadSnapshot(p []byte) error {
 	r := wire.NewReader(p)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID = blob.ID(r.U64())
+	nextID := blob.ID(r.U64())
 	n := r.U32()
-	s.blobs = make(map[blob.ID]*blobState, n)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.blobs = make(map[blob.ID]*blobState)
+		st.mu.Unlock()
+	}
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		id := blob.ID(r.U64())
 		bs := &blobState{
@@ -250,11 +291,22 @@ func (s *State) loadSnapshot(p []byte) error {
 			v := blob.Version(r.U64())
 			bs.assigned[v] = time.Unix(0, r.I64())
 		}
-		s.blobs[id] = bs
+		if !s.Owns(id) {
+			return s.shardMismatch(id)
+		}
+		st := s.stripeFor(id)
+		st.mu.Lock()
+		st.blobs[id] = bs
+		st.mu.Unlock()
 	}
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("vmanager: corrupt snapshot: %w", err)
 	}
+	s.idMu.Lock()
+	if nextID > s.nextID {
+		s.nextID = nextID
+	}
+	s.idMu.Unlock()
 	return nil
 }
 
@@ -263,24 +315,30 @@ func (s *State) loadSnapshot(p []byte) error {
 var ErrNoWAL = errors.New("vmanager: no write-ahead log attached")
 
 // SnapshotNow serializes the current state as a WAL snapshot and
-// compacts the log behind it. The state lock is held across the
-// snapshot write so the saved state is exactly consistent with the log
-// prefix it supersedes; version-manager operations pause for the
-// duration (an explicit admin/maintenance action, not a hot-path one).
+// compacts the log behind it. Every stripe lock (and the minting lock)
+// is held across the snapshot write so the saved state is exactly
+// consistent with the log prefix it supersedes; version-manager
+// operations pause for the duration (an explicit admin/maintenance
+// action, not a hot-path one).
 func (s *State) SnapshotNow() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	s.logMu.Lock()
+	log := s.log
+	s.logMu.Unlock()
+	if log == nil {
 		return ErrNoWAL
 	}
-	return s.log.SaveSnapshot(s.encodeSnapshotLocked())
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	return log.SaveSnapshot(s.encodeSnapshotAllLocked())
 }
 
 // WALStatus reports the attached log's shape (bsfsctl vm status).
 func (s *State) WALStatus() (wal.Status, error) {
-	s.mu.Lock()
+	s.logMu.Lock()
 	log := s.log
-	s.mu.Unlock()
+	s.logMu.Unlock()
 	if log == nil {
 		return wal.Status{}, ErrNoWAL
 	}
@@ -289,10 +347,10 @@ func (s *State) WALStatus() (wal.Status, error) {
 
 // CloseWAL flushes and closes the attached log (graceful shutdown).
 func (s *State) CloseWAL() error {
-	s.mu.Lock()
+	s.logMu.Lock()
 	log := s.log
 	s.log = nil
-	s.mu.Unlock()
+	s.logMu.Unlock()
 	if log == nil {
 		return nil
 	}

@@ -1,0 +1,167 @@
+package vmanager
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/rpc"
+)
+
+// API is the version-manager client surface shared by the
+// single-address Client and the sharded Router, so everything above
+// the control plane (core client, BSFS, namespace, repair) is
+// oblivious to how many shard services stand behind it.
+type API interface {
+	CreateBlob(ctx context.Context, blockSize int64, replication int) (blob.Meta, error)
+	GetMeta(ctx context.Context, id blob.ID) (blob.Meta, error)
+	AssignVersion(ctx context.Context, id blob.ID, kind blob.WriteKind, off, size int64, nonce uint64, since blob.Version) (Assignment, error)
+	Commit(ctx context.Context, id blob.ID, v blob.Version) error
+	Abort(ctx context.Context, id blob.ID, v blob.Version) error
+	Latest(ctx context.Context, id blob.ID) (blob.Version, int64, error)
+	VersionInfo(ctx context.Context, id blob.ID, v blob.Version) (blob.WriteDesc, error)
+	History(ctx context.Context, id blob.ID, since blob.Version) ([]blob.WriteDesc, error)
+	WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error)
+	ListBlobs(ctx context.Context) ([]blob.ID, error)
+	Prune(ctx context.Context, id blob.ID, keep blob.Version) (blob.Version, error)
+	PrunedBelow(ctx context.Context, id blob.ID) (blob.Version, error)
+	ForceSnapshot(ctx context.Context) error
+	SetRetry(b rpc.Backoff)
+}
+
+var (
+	_ API = (*Client)(nil)
+	_ API = (*Router)(nil)
+)
+
+// Router fans a sharded version-manager deployment back into one
+// client. Every per-blob operation routes to the shard that owns the
+// blob — ShardOf(id, K), the same rule the shards mint by — so a
+// write to blob X touches exactly one shard service. CreateBlob
+// round-robins across shards (any shard can mint; IDs never collide
+// because each shard mints its own residue class mod K).
+//
+// The Router holds no routing table and no shard state: the shard
+// count and the ID are the route. It is safe for concurrent use.
+type Router struct {
+	shards []*Client
+	next   atomic.Uint64 // round-robin cursor for CreateBlob
+}
+
+// NewRouter returns a router over the shard services at addrs, in
+// shard-index order (addrs[k] must be shard k of len(addrs)).
+func NewRouter(pool *rpc.Pool, addrs []string) *Router {
+	if len(addrs) == 0 {
+		panic("vmanager: NewRouter with no shard addresses")
+	}
+	shards := make([]*Client, len(addrs))
+	for i, a := range addrs {
+		shards[i] = NewClient(pool, a)
+	}
+	return &Router{shards: shards}
+}
+
+// NumShards reports the shard count K.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shards exposes the per-shard clients in shard order (bsfsctl's
+// per-shard status loop; do not mutate).
+func (r *Router) Shards() []*Client { return r.shards }
+
+// ShardFor returns the client owning id.
+func (r *Router) ShardFor(id blob.ID) *Client {
+	return r.shards[ShardOf(id, len(r.shards))]
+}
+
+// SetRetry overrides the retry schedule on every shard client.
+func (r *Router) SetRetry(b rpc.Backoff) {
+	for _, c := range r.shards {
+		c.SetRetry(b)
+	}
+}
+
+// CreateBlob allocates a new blob on the next shard in round-robin
+// order, spreading unrelated blobs across the control plane.
+func (r *Router) CreateBlob(ctx context.Context, blockSize int64, replication int) (blob.Meta, error) {
+	k := int(r.next.Add(1)-1) % len(r.shards)
+	return r.shards[k].CreateBlob(ctx, blockSize, replication)
+}
+
+// GetMeta fetches a blob's static configuration from its shard.
+func (r *Router) GetMeta(ctx context.Context, id blob.ID) (blob.Meta, error) {
+	return r.ShardFor(id).GetMeta(ctx, id)
+}
+
+// AssignVersion requests a version number from the blob's shard.
+func (r *Router) AssignVersion(ctx context.Context, id blob.ID, kind blob.WriteKind, off, size int64, nonce uint64, since blob.Version) (Assignment, error) {
+	return r.ShardFor(id).AssignVersion(ctx, id, kind, off, size, nonce, since)
+}
+
+// Commit reports a completed write to the blob's shard.
+func (r *Router) Commit(ctx context.Context, id blob.ID, v blob.Version) error {
+	return r.ShardFor(id).Commit(ctx, id, v)
+}
+
+// Abort reports a failed write to the blob's shard.
+func (r *Router) Abort(ctx context.Context, id blob.ID, v blob.Version) error {
+	return r.ShardFor(id).Abort(ctx, id, v)
+}
+
+// Latest returns the newest published version and size.
+func (r *Router) Latest(ctx context.Context, id blob.ID) (blob.Version, int64, error) {
+	return r.ShardFor(id).Latest(ctx, id)
+}
+
+// VersionInfo fetches one version's descriptor.
+func (r *Router) VersionInfo(ctx context.Context, id blob.ID, v blob.Version) (blob.WriteDesc, error) {
+	return r.ShardFor(id).VersionInfo(ctx, id, v)
+}
+
+// History fetches descriptors after since.
+func (r *Router) History(ctx context.Context, id blob.ID, since blob.Version) ([]blob.WriteDesc, error) {
+	return r.ShardFor(id).History(ctx, id, since)
+}
+
+// WaitPublished blocks on the blob's shard until v publishes.
+func (r *Router) WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
+	return r.ShardFor(id).WaitPublished(ctx, id, v, timeout)
+}
+
+// ListBlobs merges every shard's blob list into ascending ID order.
+func (r *Router) ListBlobs(ctx context.Context) ([]blob.ID, error) {
+	var out []blob.ID
+	for _, c := range r.shards {
+		ids, err := c.ListBlobs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Prune advances the oldest readable version on the blob's shard.
+func (r *Router) Prune(ctx context.Context, id blob.ID, keep blob.Version) (blob.Version, error) {
+	return r.ShardFor(id).Prune(ctx, id, keep)
+}
+
+// PrunedBelow returns the oldest readable version from the blob's shard.
+func (r *Router) PrunedBelow(ctx context.Context, id blob.ID) (blob.Version, error) {
+	return r.ShardFor(id).PrunedBelow(ctx, id)
+}
+
+// ForceSnapshot snapshots every shard's WAL, reporting the first
+// failure after attempting all of them.
+func (r *Router) ForceSnapshot(ctx context.Context) error {
+	var errs []error
+	for _, c := range r.shards {
+		if err := c.ForceSnapshot(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

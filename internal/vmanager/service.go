@@ -125,10 +125,39 @@ func MetadataRepairer(st mdtree.Store) Repairer {
 	}
 }
 
+// OpCounts is the per-operation dispatch breakdown of one
+// version-manager service, in RPC-method order. In a sharded
+// deployment each shard keeps its own counts, which is what makes
+// shard imbalance (and shard-local routing) directly observable.
+type OpCounts struct {
+	Create      int64
+	GetMeta     int64
+	Assign      int64
+	Commit      int64
+	Abort       int64
+	Latest      int64
+	VersionInfo int64
+	History     int64
+	Wait        int64
+	List        int64
+	Prune       int64
+	PrunedBelow int64
+	WALStatus   int64
+	Snapshot    int64
+}
+
+// Total sums every per-op counter (== Service.Calls()).
+func (o OpCounts) Total() int64 {
+	return o.Create + o.GetMeta + o.Assign + o.Commit + o.Abort + o.Latest +
+		o.VersionInfo + o.History + o.Wait + o.List + o.Prune + o.PrunedBelow +
+		o.WALStatus + o.Snapshot
+}
+
 // Service is the RPC shell around State, plus the dead-writer janitor.
 type Service struct {
 	state *State
 	calls atomic.Int64
+	ops   [mForceSnapshot]atomic.Int64 // indexed by RPC method - 1
 
 	stopJanitor chan struct{}
 }
@@ -144,12 +173,34 @@ func (s *Service) State() *State { return s.state }
 // Calls reports the cumulative RPC dispatch count — the metadata
 // round-trips clients have charged this version manager. Regression
 // tests pin it: reads against a pinned core.Snapshot must not grow it.
+// It always equals Ops().Total().
 func (s *Service) Calls() int64 { return s.calls.Load() }
 
-// counted wraps a handler with the dispatch counter.
-func (s *Service) counted(fn rpc.HandlerFunc) rpc.HandlerFunc {
+// Ops reports the dispatch count split by operation.
+func (s *Service) Ops() OpCounts {
+	return OpCounts{
+		Create:      s.ops[mCreateBlob-1].Load(),
+		GetMeta:     s.ops[mGetMeta-1].Load(),
+		Assign:      s.ops[mAssignVersion-1].Load(),
+		Commit:      s.ops[mCommit-1].Load(),
+		Abort:       s.ops[mAbort-1].Load(),
+		Latest:      s.ops[mLatest-1].Load(),
+		VersionInfo: s.ops[mVersionInfo-1].Load(),
+		History:     s.ops[mHistory-1].Load(),
+		Wait:        s.ops[mWaitPublished-1].Load(),
+		List:        s.ops[mListBlobs-1].Load(),
+		Prune:       s.ops[mPrune-1].Load(),
+		PrunedBelow: s.ops[mPrunedBelow-1].Load(),
+		WALStatus:   s.ops[mWALStatus-1].Load(),
+		Snapshot:    s.ops[mForceSnapshot-1].Load(),
+	}
+}
+
+// counted wraps a handler with the total and per-op dispatch counters.
+func (s *Service) counted(m uint16, fn rpc.HandlerFunc) rpc.HandlerFunc {
 	return func(p []byte) ([]byte, error) {
 		s.calls.Add(1)
+		s.ops[m-1].Add(1)
 		return fn(p)
 	}
 }
@@ -186,21 +237,57 @@ func (s *Service) StopJanitor() {
 // Mux returns the RPC dispatch table.
 func (s *Service) Mux() *rpc.Mux {
 	m := rpc.NewMux()
-	m.Handle(mCreateBlob, s.counted(s.handleCreate))
-	m.Handle(mGetMeta, s.counted(s.handleGetMeta))
-	m.Handle(mAssignVersion, s.counted(s.handleAssign))
-	m.Handle(mCommit, s.counted(s.handleCommit))
-	m.Handle(mAbort, s.counted(s.handleAbort))
-	m.Handle(mLatest, s.counted(s.handleLatest))
-	m.Handle(mVersionInfo, s.counted(s.handleVersionInfo))
-	m.Handle(mHistory, s.counted(s.handleHistory))
-	m.Handle(mWaitPublished, s.counted(s.handleWait))
-	m.Handle(mListBlobs, s.counted(s.handleListBlobs))
-	m.Handle(mPrune, s.counted(s.handlePrune))
-	m.Handle(mPrunedBelow, s.counted(s.handlePrunedBelow))
-	m.Handle(mWALStatus, s.counted(s.handleWALStatus))
-	m.Handle(mForceSnapshot, s.counted(s.handleForceSnapshot))
+	m.Handle(mCreateBlob, s.counted(mCreateBlob, s.handleCreate))
+	m.Handle(mGetMeta, s.counted(mGetMeta, s.handleGetMeta))
+	m.Handle(mAssignVersion, s.counted(mAssignVersion, s.handleAssign))
+	m.Handle(mCommit, s.counted(mCommit, s.handleCommit))
+	m.Handle(mAbort, s.counted(mAbort, s.handleAbort))
+	m.Handle(mLatest, s.counted(mLatest, s.handleLatest))
+	m.Handle(mVersionInfo, s.counted(mVersionInfo, s.handleVersionInfo))
+	m.Handle(mHistory, s.counted(mHistory, s.handleHistory))
+	m.Handle(mWaitPublished, s.counted(mWaitPublished, s.handleWait))
+	m.Handle(mListBlobs, s.counted(mListBlobs, s.handleListBlobs))
+	m.Handle(mPrune, s.counted(mPrune, s.handlePrune))
+	m.Handle(mPrunedBelow, s.counted(mPrunedBelow, s.handlePrunedBelow))
+	m.Handle(mWALStatus, s.counted(mWALStatus, s.handleWALStatus))
+	m.Handle(mForceSnapshot, s.counted(mForceSnapshot, s.handleForceSnapshot))
 	return m
+}
+
+func encodeOps(b *wire.Buffer, o OpCounts) {
+	b.I64(o.Create)
+	b.I64(o.GetMeta)
+	b.I64(o.Assign)
+	b.I64(o.Commit)
+	b.I64(o.Abort)
+	b.I64(o.Latest)
+	b.I64(o.VersionInfo)
+	b.I64(o.History)
+	b.I64(o.Wait)
+	b.I64(o.List)
+	b.I64(o.Prune)
+	b.I64(o.PrunedBelow)
+	b.I64(o.WALStatus)
+	b.I64(o.Snapshot)
+}
+
+func decodeOps(r *wire.Reader) OpCounts {
+	return OpCounts{
+		Create:      r.I64(),
+		GetMeta:     r.I64(),
+		Assign:      r.I64(),
+		Commit:      r.I64(),
+		Abort:       r.I64(),
+		Latest:      r.I64(),
+		VersionInfo: r.I64(),
+		History:     r.I64(),
+		Wait:        r.I64(),
+		List:        r.I64(),
+		Prune:       r.I64(),
+		PrunedBelow: r.I64(),
+		WALStatus:   r.I64(),
+		Snapshot:    r.I64(),
+	}
 }
 
 func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
@@ -208,7 +295,7 @@ func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, wrap(err)
 	}
-	b := wire.NewBuffer(64)
+	b := wire.NewBuffer(192)
 	b.String(st.Dir)
 	b.U32(uint32(st.Segments))
 	b.U64(st.FirstSeq)
@@ -217,6 +304,8 @@ func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
 	b.I64(st.LogBytes)
 	b.U64(st.Records)
 	b.I64(st.LastSyncUnix)
+	b.U64(st.Syncs)
+	encodeOps(b, s.Ops())
 	return b.Bytes(), nil
 }
 
@@ -660,26 +749,43 @@ func (c *Client) Prune(ctx context.Context, id blob.ID, keep blob.Version) (blob
 	return from, r.Err()
 }
 
-// WALStatus reports the manager's write-ahead-log shape (bsfsctl vm
-// status). Fails with a remote error when the manager runs without a
-// WAL.
-func (c *Client) WALStatus(ctx context.Context) (wal.Status, error) {
+// StatusReply is one shard's WAL shape plus its per-op dispatch
+// counters (bsfsctl vm status).
+type StatusReply struct {
+	WAL wal.Status
+	Ops OpCounts
+}
+
+// Status reports the manager's write-ahead-log shape and per-op
+// dispatch counters. Fails with a remote error when the manager runs
+// without a WAL.
+func (c *Client) Status(ctx context.Context) (StatusReply, error) {
 	resp, err := c.call(ctx, mWALStatus, nil)
 	if err != nil {
-		return wal.Status{}, err
+		return StatusReply{}, err
 	}
 	r := wire.NewReader(resp)
-	st := wal.Status{
-		Dir:          r.String(),
-		Segments:     int(r.U32()),
-		FirstSeq:     r.U64(),
-		LastSeq:      r.U64(),
-		SnapshotSeq:  r.U64(),
-		LogBytes:     r.I64(),
-		Records:      r.U64(),
-		LastSyncUnix: r.I64(),
+	st := StatusReply{
+		WAL: wal.Status{
+			Dir:          r.String(),
+			Segments:     int(r.U32()),
+			FirstSeq:     r.U64(),
+			LastSeq:      r.U64(),
+			SnapshotSeq:  r.U64(),
+			LogBytes:     r.I64(),
+			Records:      r.U64(),
+			LastSyncUnix: r.I64(),
+			Syncs:        r.U64(),
+		},
+		Ops: decodeOps(r),
 	}
 	return st, r.Err()
+}
+
+// WALStatus reports the manager's write-ahead-log shape (see Status).
+func (c *Client) WALStatus(ctx context.Context) (wal.Status, error) {
+	st, err := c.Status(ctx)
+	return st.WAL, err
 }
 
 // ForceSnapshot snapshots the manager's state into its WAL and

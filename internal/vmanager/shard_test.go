@@ -1,0 +1,263 @@
+package vmanager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/rpc"
+	"blobseer/internal/wal"
+)
+
+// startShardedVM deploys K shard services on an inproc network and
+// returns a Router over them (addresses in shard order).
+func startShardedVM(t *testing.T, k int) *Router {
+	t.Helper()
+	n := rpc.NewInprocNetwork()
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		svc := NewService(NewShardState(MetadataRepairer(mdtree.NewMemStore()), ShardInfo{Index: i, Count: k}))
+		addrs[i] = fmt.Sprintf("vmanager-%d", i)
+		lis, err := n.Listen(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := rpc.NewServer(svc.Mux())
+		go srv.Serve(lis)
+		t.Cleanup(func() { srv.Close() })
+	}
+	pool := rpc.NewPool(n.Dial)
+	t.Cleanup(pool.Close)
+	return NewRouter(pool, addrs)
+}
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf(7, 0); got != 0 {
+		t.Errorf("ShardOf(7, 0) = %d, want 0", got)
+	}
+	if got := ShardOf(7, 1); got != 0 {
+		t.Errorf("ShardOf(7, 1) = %d, want 0", got)
+	}
+	for id := blob.ID(1); id < 100; id++ {
+		if got, want := ShardOf(id, 4), int(uint64(id)%4); got != want {
+			t.Fatalf("ShardOf(%d, 4) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestShardStateMintsOwnedIDs pins the ID encoding: shard k of K mints
+// only IDs ≡ k (mod K), never 0, advancing by stride K.
+func TestShardStateMintsOwnedIDs(t *testing.T) {
+	for _, tc := range []struct {
+		k, n int
+		want []blob.ID
+	}{
+		{0, 1, []blob.ID{1, 2, 3}},
+		{0, 4, []blob.ID{4, 8, 12}}, // ID 0 means "no blob", so shard 0 starts at K
+		{1, 4, []blob.ID{1, 5, 9}},
+		{3, 4, []blob.ID{3, 7, 11}},
+	} {
+		s := NewShardState(nil, ShardInfo{Index: tc.k, Count: tc.n})
+		for i, want := range tc.want {
+			m, err := s.CreateBlob(B, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.ID != want {
+				t.Errorf("shard %d/%d create #%d: id %d, want %d", tc.k, tc.n, i, m.ID, want)
+			}
+			if !s.Owns(m.ID) {
+				t.Errorf("shard %d/%d does not own its own mint %d", tc.k, tc.n, m.ID)
+			}
+		}
+	}
+}
+
+// TestRecoverShardRoundTrip replays a shard's WAL into a fresh state
+// and checks both the publication line and the minting cursor survive
+// with the shard stride intact.
+func TestRecoverShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	si := ShardInfo{Index: 2, Count: 4}
+	log, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverShard(log, nil, si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.CreateBlob(B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 2 {
+		t.Fatalf("first mint on shard 2/4 = %d, want 2", m.ID)
+	}
+	a, err := st.AssignVersion(m.ID, blob.KindAppend, 0, B, 0x1, blob.NoVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(m.ID, a.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := RecoverShard(log2, nil, si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if got := re.Shard(); got != si {
+		t.Fatalf("recovered shard info %+v, want %+v", got, si)
+	}
+	if v, _, err := re.Latest(m.ID); err != nil || v != a.Version {
+		t.Fatalf("recovered Latest = %d, %v; want %d", v, err, a.Version)
+	}
+	// The minting cursor must resume on the shard's stride.
+	m2, err := re.CreateBlob(B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != 6 {
+		t.Fatalf("post-recovery mint = %d, want 6 (2 + stride 4)", m2.ID)
+	}
+}
+
+// TestRecoverShardRejectsForeignLog pins the guard: replaying a WAL
+// into a shard that does not own its blobs fails loudly instead of
+// silently splitting a blob's history across shards.
+func TestRecoverShardRejectsForeignLog(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RecoverShard(log, nil, ShardInfo{Index: 1, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CreateBlob(B, 1); err != nil { // mints ID 1
+		t.Fatal(err)
+	}
+	if err := st.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, err := wal.Open(dir, wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if _, err := RecoverShard(log2, nil, ShardInfo{Index: 3, Count: 4}); err == nil ||
+		!strings.Contains(err.Error(), "shard") {
+		t.Fatalf("foreign-shard replay err = %v, want shard-ownership error", err)
+	}
+}
+
+// TestRouterCreateBlobRace is the sharding satellite: N goroutines
+// minting blobs through the Router concurrently must get globally
+// unique IDs, each owned by the shard the routing rule predicts.
+// Run with -race.
+func TestRouterCreateBlobRace(t *testing.T) {
+	const shards = 4
+	r := startShardedVM(t, shards)
+	ctx := context.Background()
+
+	const goroutines = 8
+	const perG = 25
+	var mu sync.Mutex
+	ids := make(map[blob.ID]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m, err := r.CreateBlob(ctx, B, 1)
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				mu.Lock()
+				if ids[m.ID] {
+					t.Errorf("duplicate blob id %d", m.ID)
+				}
+				ids[m.ID] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(ids) != goroutines*perG {
+		t.Fatalf("minted %d unique ids, want %d", len(ids), goroutines*perG)
+	}
+	// Every ID must resolve through the shard the routing rule picks:
+	// GetMeta goes to ShardFor(id), and only the minting shard knows it.
+	for id := range ids {
+		if _, err := r.GetMeta(ctx, id); err != nil {
+			t.Fatalf("blob %d not found on predicted shard %d: %v", id, ShardOf(id, shards), err)
+		}
+	}
+	// The round-robin spread: every shard minted something.
+	perShard := make([]int, shards)
+	for id := range ids {
+		perShard[ShardOf(id, shards)]++
+	}
+	for k, n := range perShard {
+		if n == 0 {
+			t.Errorf("shard %d minted nothing: %v", k, perShard)
+		}
+	}
+	// ListBlobs merges all shards, sorted and complete.
+	all, err := r.ListBlobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Fatalf("ListBlobs merged %d ids, want %d", len(all), len(ids))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+		t.Error("merged ListBlobs not sorted")
+	}
+}
+
+// TestRouterRoutesPerBlobOps drives a full publish through the Router
+// and checks cross-shard isolation: an unknown blob owned by another
+// shard errors with the usual sentinel.
+func TestRouterRoutesPerBlobOps(t *testing.T) {
+	r := startShardedVM(t, 2)
+	ctx := context.Background()
+	m, err := r.CreateBlob(ctx, B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.AssignVersion(ctx, m.ID, blob.KindAppend, 0, B, 0x1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit(ctx, m.ID, a.Version); err != nil {
+		t.Fatal(err)
+	}
+	v, size, err := r.Latest(ctx, m.ID)
+	if err != nil || v != a.Version || size != B {
+		t.Fatalf("Latest = %d/%d, %v", v, size, err)
+	}
+	// An ID the owning shard never minted: routed there, rejected there.
+	missing := m.ID + 2*10 // same shard, unknown blob
+	if _, err := r.GetMeta(ctx, missing); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("GetMeta(missing) err = %v, want ErrUnknownBlob", err)
+	}
+}

@@ -1,6 +1,6 @@
 // Package vmanager implements BlobSeer's version manager (Section
-// III-B): the single entity that assigns snapshot version numbers,
-// fixes append offsets, and controls when new snapshots are revealed to
+// III-B): the entity that assigns snapshot version numbers, fixes
+// append offsets, and controls when new snapshots are revealed to
 // readers. Version assignment is the *only* serialization point of the
 // whole write path; everything before (data transfer) and after
 // (metadata weaving) runs fully in parallel across writers.
@@ -9,11 +9,24 @@
 // snapshot v becomes visible only when the metadata of every version
 // <= v has been committed, so readers always observe consistent,
 // immutable snapshots.
+//
+// Serialization is per *blob*, not global, and the manager scales on
+// both axes:
+//
+//   - Vertically, State stripes its blob table across numStripes locks
+//     (blob -> stripe by hash of the ID), so writers to unrelated blobs
+//     never contend and the dead-writer janitor's Expired scan pauses
+//     one stripe at a time instead of freezing every publish.
+//   - Horizontally, K independent shard services each own the blob IDs
+//     congruent to their index mod K (see ShardInfo and Router). IDs
+//     are minted shard-locally with stride K, so shards never
+//     coordinate — not even for CreateBlob.
 package vmanager
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,18 +58,87 @@ var (
 // mdtree.Build over the metadata DHT with empty block references.
 type Repairer func(meta blob.Meta, hist *blob.History, v blob.Version) error
 
+// ShardInfo identifies one horizontal shard of the version-manager
+// control plane: this service owns exactly the blob IDs id with
+// ShardOf(id, Count) == Index. The zero value (normalized to 0/1) is
+// the classic unsharded manager.
+type ShardInfo struct {
+	Index int // this shard's index in [0, Count)
+	Count int // total shards in the deployment
+}
+
+func (si ShardInfo) normalize() ShardInfo {
+	if si.Count < 1 {
+		si.Count = 1
+	}
+	if si.Index < 0 || si.Index >= si.Count {
+		panic(fmt.Sprintf("vmanager: shard index %d out of range [0,%d)", si.Index, si.Count))
+	}
+	return si
+}
+
+// firstID is the smallest ID this shard mints. Shard IDs advance with
+// stride Count, so shard k mints k, k+K, k+2K, ... — except that ID 0
+// means "no blob" throughout the codebase, so shard 0 starts at K. A
+// single-shard deployment keeps the historical 1, 2, 3, ... sequence.
+func (si ShardInfo) firstID() blob.ID {
+	if si.Count <= 1 {
+		return 1
+	}
+	if si.Index == 0 {
+		return blob.ID(si.Count)
+	}
+	return blob.ID(si.Index)
+}
+
+// ShardOf is the routing rule shared by the minting side (State) and
+// the client side (Router): blob id is owned by shard id mod shards.
+func ShardOf(id blob.ID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(uint64(id) % uint64(shards))
+}
+
+// numStripes is the lock-striping factor inside one State. Stripes are
+// picked by a multiplicative hash of the blob ID (not id mod
+// numStripes: sharded IDs advance with stride Count, and a plain
+// modulus would alias the stride onto a subset of stripes).
+const numStripes = 32
+
+func stripeIndex(id blob.ID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> 59) // top 5 bits
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	blobs map[blob.ID]*blobState
+}
+
 // State is the version manager's pure core: all bookkeeping, no I/O.
 // It is safe for concurrent use. The RPC Service wraps it; the
 // large-scale simulator drives it directly.
+//
+// There is no global lock: per-blob bookkeeping lives in lock-striped
+// tables, ID minting has its own mutex, and the WAL serializes appends
+// internally. Replay only requires that records for one blob hit the
+// log in mutation order, which holding the blob's stripe lock across
+// mutation+append guarantees.
 type State struct {
-	mu     sync.Mutex
+	shard ShardInfo
+
+	idMu   sync.Mutex
 	nextID blob.ID
-	blobs  map[blob.ID]*blobState
+
+	stripes [numStripes]stripe
+
 	repair Repairer
+
 	// log, when non-nil, journals every mutation for crash recovery
 	// (see recovery.go). Attached by Recover; nil keeps the historical
 	// purely-in-memory behavior (simulator, most tests).
-	log *wal.Log
+	logMu sync.Mutex
+	log   *wal.Log
 }
 
 type blobState struct {
@@ -78,26 +160,70 @@ type waiter struct {
 	ch      chan struct{}
 }
 
-// NewState returns an empty version manager core. repair may be nil
-// (aborted versions then publish without metadata; tests only).
+// NewState returns an empty single-shard version manager core. repair
+// may be nil (aborted versions then publish without metadata; tests
+// only).
 func NewState(repair Repairer) *State {
-	return &State{nextID: 1, blobs: make(map[blob.ID]*blobState), repair: repair}
+	return NewShardState(repair, ShardInfo{})
 }
 
-// CreateBlob registers a new empty BLOB and returns its metadata.
+// NewShardState returns an empty version manager core owning shard
+// si.Index of si.Count. It panics on an out-of-range index.
+func NewShardState(repair Repairer, si ShardInfo) *State {
+	si = si.normalize()
+	s := &State{shard: si, nextID: si.firstID(), repair: repair}
+	for i := range s.stripes {
+		s.stripes[i].blobs = make(map[blob.ID]*blobState)
+	}
+	return s
+}
+
+// Shard reports this manager's shard identity (0/1 when unsharded).
+func (s *State) Shard() ShardInfo { return s.shard }
+
+// Owns reports whether id routes to this shard.
+func (s *State) Owns(id blob.ID) bool {
+	return ShardOf(id, s.shard.Count) == s.shard.Index
+}
+
+func (s *State) stripeFor(id blob.ID) *stripe {
+	return &s.stripes[stripeIndex(id)]
+}
+
+// lockAll acquires every stripe lock in index order (snapshot and
+// shutdown paths). unlockAll releases them.
+func (s *State) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+func (s *State) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+// CreateBlob registers a new empty BLOB and returns its metadata. The
+// ID is minted shard-locally: id ≡ shard index (mod shard count), so
+// IDs are globally unique across shards with zero coordination.
 func (s *State) CreateBlob(blockSize int64, replication int) (blob.Meta, error) {
 	m := blob.Meta{BlockSize: blockSize, Replication: replication}
 	if err := m.Validate(); err != nil {
 		return blob.Meta{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.idMu.Lock()
 	m.ID = s.nextID
-	s.nextID++
-	s.blobs[m.ID] = &blobState{meta: m, assigned: make(map[blob.Version]time.Time)}
+	s.nextID += blob.ID(s.shard.Count)
+	s.idMu.Unlock()
+
+	st := s.stripeFor(m.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.blobs[m.ID] = &blobState{meta: m, assigned: make(map[blob.Version]time.Time)}
 	// Forced sync: the namespace (and the client) will hold this ID
 	// durably, so the blob's existence must survive a crash too.
-	if err := s.appendLocked(true, encodeCreate(m)); err != nil {
+	if err := s.appendStriped(true, encodeCreate(m)); err != nil {
 		return blob.Meta{}, err
 	}
 	return m, nil
@@ -105,23 +231,28 @@ func (s *State) CreateBlob(blockSize int64, replication int) (blob.Meta, error) 
 
 // GetMeta returns the static configuration of a blob.
 func (s *State) GetMeta(id blob.ID) (blob.Meta, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return blob.Meta{}, ErrUnknownBlob
 	}
 	return bs.meta, nil
 }
 
-// Blobs lists all blob IDs (CLI/debugging).
+// Blobs lists all blob IDs in ascending order (CLI/debugging).
 func (s *State) Blobs() []blob.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]blob.ID, 0, len(s.blobs))
-	for id := range s.blobs {
-		out = append(out, id)
+	var out []blob.ID
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for id := range st.blobs {
+			out = append(out, id)
+		}
+		st.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -137,11 +268,14 @@ type Assignment struct {
 
 // AssignVersion validates the write, assigns the next version number
 // (fixing the offset for appends), and returns the history delta since
-// sinceVersion. This method is the write path's serialization point.
+// sinceVersion. This method is the write path's serialization point —
+// per blob: writers to different blobs proceed through different
+// stripes in parallel.
 func (s *State) AssignVersion(id blob.ID, kind blob.WriteKind, off, size int64, nonce uint64, since blob.Version) (Assignment, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return Assignment{}, ErrUnknownBlob
 	}
@@ -182,7 +316,7 @@ func (s *State) AssignVersion(id blob.ID, kind blob.WriteKind, off, size int64, 
 	// assign record — a commit can never be durable without its
 	// assignment. An assign lost on its own is just a version that
 	// never happened.
-	if err := s.appendLocked(false, encodeAssign(id, d, at)); err != nil {
+	if err := s.appendStriped(false, encodeAssign(id, d, at)); err != nil {
 		return Assignment{}, err
 	}
 	return Assignment{Version: v, Off: off, Size: after, Descs: bs.descsSinceLocked(since)}, nil
@@ -198,9 +332,10 @@ func (bs *blobState) descsSinceLocked(since blob.Version) []blob.WriteDesc {
 // Commit records that version v's data and metadata are fully written
 // and publishes every version whose predecessors are all committed.
 func (s *State) Commit(id blob.ID, v blob.Version) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return ErrUnknownBlob
 	}
@@ -209,8 +344,10 @@ func (s *State) Commit(id blob.ID, v blob.Version) error {
 	}
 	// Forced sync *before* the in-memory publish advances: the ack the
 	// client is about to receive promises the version survives a
-	// crash, so the record must be on disk first.
-	if err := s.appendLocked(true, encodeVersionRec(recCommit, id, v)); err != nil {
+	// crash, so the record must be on disk first. Concurrent commits on
+	// other stripes issue their fsyncs in parallel; the WAL coalesces
+	// them into shared group commits.
+	if err := s.appendStriped(true, encodeVersionRec(recCommit, id, v)); err != nil {
 		return err
 	}
 	bs.committed[v-1] = true
@@ -240,31 +377,32 @@ func (bs *blobState) advanceLocked() {
 // patch (so later versions that wove references to it stay readable)
 // and then commits it so publication can advance past it.
 func (s *State) Abort(id blob.ID, v blob.Version) error {
-	s.mu.Lock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	bs, ok := st.blobs[id]
 	if !ok {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return ErrUnknownBlob
 	}
 	if v == blob.NoVersion || v > bs.hist.Latest() {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	if bs.committed[v-1] {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("vmanager: version %d already committed", v)
 	}
 	bs.hist.Descs[v-1].Aborted = true
 	// Policy append: if this record is lost, the version stays in
 	// `assigned` after recovery and the janitor re-runs the abort.
-	if err := s.appendLocked(false, encodeVersionRec(recAbort, id, v)); err != nil {
-		s.mu.Unlock()
+	if err := s.appendStriped(false, encodeVersionRec(recAbort, id, v)); err != nil {
+		st.mu.Unlock()
 		return err
 	}
 	meta := bs.meta
 	hist := bs.hist.Clone()
 	repair := s.repair
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	if repair != nil {
 		if err := repair(meta, hist, v); err != nil {
@@ -277,9 +415,10 @@ func (s *State) Abort(id blob.ID, v blob.Version) error {
 // Latest returns the newest published version and the blob size at it.
 // This is the call every reader (and BSFS open) issues first.
 func (s *State) Latest(id blob.ID) (blob.Version, int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return 0, 0, ErrUnknownBlob
 	}
@@ -289,9 +428,10 @@ func (s *State) Latest(id blob.ID) (blob.Version, int64, error) {
 // VersionInfo returns the descriptor of a published or in-flight
 // version (readers need SizeAfter to compute the root span).
 func (s *State) VersionInfo(id blob.ID, v blob.Version) (blob.WriteDesc, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return blob.WriteDesc{}, ErrUnknownBlob
 	}
@@ -307,9 +447,10 @@ func (s *State) VersionInfo(id blob.ID, v blob.Version) (blob.WriteDesc, error) 
 
 // History returns descriptors for versions in (since, latest].
 func (s *State) History(id blob.ID, since blob.Version) ([]blob.WriteDesc, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return nil, ErrUnknownBlob
 	}
@@ -328,9 +469,10 @@ func (s *State) History(id blob.ID, since blob.Version) ([]blob.WriteDesc, error
 // as they have not been garbaged". A reader pinned to a version below
 // keep fails once the sweep completes.
 func (s *State) Prune(id blob.ID, keep blob.Version) (from blob.Version, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return 0, ErrUnknownBlob
 	}
@@ -348,7 +490,7 @@ func (s *State) Prune(id blob.ID, keep blob.Version) (from blob.Version, err err
 	// Forced sync: the caller garbage-collects payloads based on this
 	// answer; forgetting the prune point after a crash would leave the
 	// manager offering versions whose blocks are already gone.
-	if err := s.appendLocked(true, encodeVersionRec(recPrune, id, keep)); err != nil {
+	if err := s.appendStriped(true, encodeVersionRec(recPrune, id, keep)); err != nil {
 		return 0, err
 	}
 	return from, nil
@@ -356,9 +498,10 @@ func (s *State) Prune(id blob.ID, keep blob.Version) (from blob.Version, err err
 
 // PrunedBelow returns the oldest readable version (1 if never pruned).
 func (s *State) PrunedBelow(id blob.ID) (blob.Version, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return 0, ErrUnknownBlob
 	}
@@ -374,20 +517,21 @@ func (s *State) PrunedBelow(id blob.ID) (blob.Version, error) {
 // allows the client to find out when new snapshot versions are
 // available".
 func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
-	s.mu.Lock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	bs, ok := st.blobs[id]
 	if !ok {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return 0, 0, ErrUnknownBlob
 	}
 	if bs.published >= v {
 		pub, size := bs.published, bs.hist.SizeAt(bs.published)
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return pub, size, nil
 	}
 	ch := make(chan struct{})
 	bs.waiters = append(bs.waiters, waiter{version: v, ch: ch})
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	var timer <-chan time.Time
 	if timeout > 0 {
@@ -407,14 +551,14 @@ func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration)
 	case <-timer:
 		// Deregister, or every timed-out poll would leak its waiter
 		// slot (and channel) in bs.waiters until publication.
-		s.mu.Lock()
+		st.mu.Lock()
 		for i, w := range bs.waiters {
 			if w.ch == ch {
 				bs.waiters = append(bs.waiters[:i], bs.waiters[i+1:]...)
 				break
 			}
 		}
-		s.mu.Unlock()
+		st.mu.Unlock()
 		// The publish may have raced the timer; prefer reporting it.
 		select {
 		case <-ch:
@@ -429,9 +573,10 @@ func (s *State) WaitPublished(id blob.ID, v blob.Version, timeout time.Duration)
 // PendingWaiters returns the number of registered WaitPublished
 // waiters for a blob (tests, leak diagnostics).
 func (s *State) PendingWaiters(id blob.ID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bs, ok := s.blobs[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bs, ok := st.blobs[id]
 	if !ok {
 		return 0
 	}
@@ -444,39 +589,46 @@ func (s *State) PendingWaiters(id blob.ID) int {
 // manager must not leave handlers blocked (they would stall the
 // server drain for their full wait timeout).
 func (s *State) ReleaseWaiters() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, bs := range s.blobs {
-		for _, w := range bs.waiters {
-			close(w.ch)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, bs := range st.blobs {
+			for _, w := range bs.waiters {
+				close(w.ch)
+			}
+			bs.waiters = nil
 		}
-		bs.waiters = nil
+		st.mu.Unlock()
 	}
 }
 
 // Expired returns in-flight (blob, version) pairs assigned longer than
 // maxAge ago. The service's janitor aborts them — the dead-writer
-// recovery path.
+// recovery path. The scan walks one stripe at a time, so publishes on
+// the other 31 stripes proceed while it runs.
 func (s *State) Expired(maxAge time.Duration) []struct {
 	Blob    blob.ID
 	Version blob.Version
 } {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []struct {
 		Blob    blob.ID
 		Version blob.Version
 	}
 	cutoff := time.Now().Add(-maxAge)
-	for id, bs := range s.blobs {
-		for v, at := range bs.assigned {
-			if at.Before(cutoff) {
-				out = append(out, struct {
-					Blob    blob.ID
-					Version blob.Version
-				}{id, v})
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for id, bs := range st.blobs {
+			for v, at := range bs.assigned {
+				if at.Before(cutoff) {
+					out = append(out, struct {
+						Blob    blob.ID
+						Version blob.Version
+					}{id, v})
+				}
 			}
 		}
+		st.mu.Unlock()
 	}
 	return out
 }

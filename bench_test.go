@@ -135,6 +135,27 @@ func BenchmarkAblationRepair(b *testing.B) {
 	report(b, out)
 }
 
+// BenchmarkAblationTiering measures the tiered hot/cold store engine on
+// real fs backends: hot-path read overhead vs a plain fs store, the
+// cold-read + promotion cost after demoting every block, and the
+// restored hot rate on re-read. The summary ratios are the acceptance
+// claim: every demoted block readable, hot path within 10% of plain fs.
+func BenchmarkAblationTiering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.TieringBenchRun(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Check(); err != nil {
+			b.Fatal(err)
+		}
+		report(b, r.Throughput)
+		b.ReportMetric(r.HotRatio, "hot_ratio")
+		b.ReportMetric(r.PromotedRatio, "promoted_ratio")
+		b.ReportMetric(r.Readable, "readable")
+	}
+}
+
 // BenchmarkAblationStreaming measures the client streaming pipeline on
 // the simulated paper topology: a 16 x 64 MB stream written and read
 // with the readahead/write-behind window at 0 (the synchronous client)

@@ -33,12 +33,17 @@
 //	blobseerd -role namenode -listen 127.0.0.1:8001 -block-size 67108864
 //	blobseerd -role datanode -listen 127.0.0.1:8201 -namenode 127.0.0.1:8001 -host host-0
 //
-// Block payloads live in memory by default; pass -dir to persist them
-// in a file-backed store instead. The control-plane daemons (vmanager,
-// namespace) are volatile by default; pass -data-dir to journal every
-// mutation to a write-ahead log and recover the state on restart
-// (-wal-sync trades durability for throughput by batching fsyncs).
-// SIGTERM flushes and closes the log before exit.
+// Block payloads live in memory by default; pass -store to select any
+// backend by URL — "file:///var/blocks?sync=1" for a file-backed store,
+// "http://peer:9000/base" for a remote object server, or
+// "tiered://?hot=mem://&cold=file:///var/blocks" for the hot/cold
+// tiered engine (see the store package for the policy knobs). The old
+// -dir/-sync flags remain as deprecated aliases for the file:// form.
+// The control-plane daemons (vmanager, namespace) are volatile by
+// default; pass -data-dir to journal every mutation to a write-ahead
+// log and recover the state on restart (-wal-sync trades durability for
+// throughput by batching fsyncs). SIGTERM flushes and closes the log
+// before exit.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,8 +87,9 @@ func main() {
 		pmAddr   = flag.String("pmanager", "", "provider manager address (provider role; registers at startup)")
 		nnAddr   = flag.String("namenode", "", "namenode address (datanode role; registers at startup)")
 		host     = flag.String("host", "", "physical host label exposed for affinity scheduling (provider/datanode)")
-		dir      = flag.String("dir", "", "directory for a file-backed block store (default: in-memory)")
-		syncW    = flag.Bool("sync", false, "fsync file-backed writes")
+		storeURL = flag.String("store", "", "block-store backend URL: mem:// | file:///path?sync=1 | http://peer/base | tiered://?hot=...&cold=... (default: mem://)")
+		dir      = flag.String("dir", "", "deprecated alias for -store file://<dir>")
+		syncW    = flag.Bool("sync", false, "deprecated: with -dir, alias for the ?sync=1 store option")
 		strategy = flag.String("strategy", "roundrobin", "placement strategy: roundrobin | random | sticky | leastloaded (pmanager/namenode)")
 		seed     = flag.Uint64("seed", 1, "placement RNG seed (random/sticky)")
 		stickyW  = flag.Int("sticky-window", 8, "sticky placement window (namenode's HDFS-0.20-like clustering)")
@@ -106,12 +113,27 @@ func main() {
 	}
 
 	newStore := func() store.Store {
-		if *dir == "" {
-			return store.NewMemStore()
+		u := *storeURL
+		switch {
+		case u == "" && *dir == "":
+			u = "mem://"
+		case u == "":
+			// Deprecated -dir/-sync spelling maps onto the URL form.
+			fu := url.URL{Scheme: "file", Path: *dir}
+			if !filepath.IsAbs(*dir) {
+				fu = url.URL{Scheme: "file", Opaque: *dir}
+			}
+			if *syncW {
+				fu.RawQuery = "sync=1"
+			}
+			u = fu.String()
+			log.Printf("-dir is deprecated; use -store %s", u)
+		case *dir != "":
+			log.Fatalf("-store and -dir are mutually exclusive (use -store %s)", u)
 		}
-		st, err := store.NewFSStore(*dir, *syncW)
+		st, err := store.Open(u)
 		if err != nil {
-			log.Fatalf("open store %s: %v", *dir, err)
+			log.Fatalf("open store: %v", err)
 		}
 		return st
 	}

@@ -8,6 +8,7 @@
 //	figures -fig 6b -quick   # Figure 6b, coarse sweep
 //	figures -ablations       # the design-choice ablations of DESIGN.md
 //	figures -vmshard         # control-plane sharding + group commit, BENCH_vmshard.json
+//	figures -tiering         # hot/cold store tiering ablation, BENCH_tiering.json
 //	figures -selftest        # live-stack sanity check before a long sweep
 //
 // Expected output shapes are documented in EXPERIMENTS.md; the shape
@@ -73,6 +74,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the ablation experiments instead of the figures")
 		recovery  = flag.Bool("recovery", false, "run the crash-recovery ablation and write BENCH_recovery.json")
 		vmshard   = flag.Bool("vmshard", false, "run the control-plane sharding ablation and write BENCH_vmshard.json")
+		tiering   = flag.Bool("tiering", false, "run the hot/cold store tiering ablation and write BENCH_tiering.json")
 		check     = flag.Bool("selftest", false, "run a live-stack handle-API sanity check and exit")
 	)
 	flag.Parse()
@@ -115,6 +117,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_vmshard.json")
+		return
+	}
+
+	if *tiering {
+		r, err := bench.TieringBenchRun(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: tiering bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.Table("Store tiering — read throughput per arm (fs baseline, tiered hot, cold+promote, promoted)", r.Throughput))
+		fmt.Printf("hot_ratio=%.3f promoted_ratio=%.3f readable=%.3f demotions=%d promotions=%d\n",
+			r.HotRatio, r.PromotedRatio, r.Readable, r.Demotions, r.Promotions)
+		if err := r.WriteJSON("BENCH_tiering.json"); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_tiering.json")
+		if err := r.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: tiering acceptance: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -79,6 +79,13 @@ type Config struct {
 	// become retryable) after this long. 0 disables, the historical
 	// behavior.
 	CallTimeout time.Duration
+
+	// StoreURL selects every data provider's block-store backend (see
+	// store.Open): "mem://" (the default when empty), "file:///path",
+	// "http://peer/base", or a composing "tiered://?hot=...&cold=...".
+	// A "{n}" anywhere in the URL expands to the provider index, so one
+	// template configures the whole fleet without directory collisions.
+	StoreURL string
 }
 
 func (c *Config) fill() {
@@ -124,11 +131,12 @@ type BlobSeer struct {
 	MetaStore     mdtree.Store
 	Overlay       *repair.Overlay
 
-	vmSvcs   []*vmanager.Service // per shard, in shard order
-	pmSvc    *pmanager.Service
-	nsSvc    *namespace.Service
-	provSvcs map[string]*provider.Service
-	metaSvcs map[string]*dht.MetaService
+	vmSvcs     []*vmanager.Service // per shard, in shard order
+	pmSvc      *pmanager.Service
+	nsSvc      *namespace.Service
+	provSvcs   map[string]*provider.Service
+	provStores []store.Store // provider-order backends, closed on Stop
+	metaSvcs   map[string]*dht.MetaService
 
 	repairEng *repair.Engine
 
@@ -262,9 +270,20 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	c.NSAddr = nsAddr
 
 	// Data providers; each lives on its own synthetic host, mirroring
-	// the paper's one-provider-per-machine deployment.
+	// the paper's one-provider-per-machine deployment. The block store
+	// behind each comes from the backend URL (mem:// when unset).
+	storeURL := cfg.StoreURL
+	if storeURL == "" {
+		storeURL = "mem://"
+	}
 	for i := 0; i < cfg.DataProviders; i++ {
-		svc := provider.NewService(store.NewMemStore(), provider.WithForwarder(c.Pool))
+		st, err := store.OpenMember(storeURL, i)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: provider %d store: %w", i, err)
+		}
+		c.provStores = append(c.provStores, st)
+		svc := provider.NewService(st, provider.WithForwarder(c.Pool))
 		addr, err := serve(fmt.Sprintf("provider-%d", i), svc.Mux())
 		if err != nil {
 			c.Stop()
@@ -445,6 +464,12 @@ func (c *BlobSeer) Stop() {
 	if c.nsSvc != nil {
 		c.nsSvc.State().CloseWAL()
 	}
+	// Release the provider backends (stops tiered policy loops, closes
+	// HTTP connection pools).
+	for _, st := range c.provStores {
+		st.Close()
+	}
+	c.provStores = nil
 	if c.Pool != nil {
 		c.Pool.Close()
 	}

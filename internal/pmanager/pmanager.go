@@ -163,6 +163,9 @@ type ProviderInfo struct {
 	Bytes    int64 // heartbeat-reported payload bytes (0 until the first heartbeat)
 	Alive    bool
 	Draining bool
+	// Tiers carries the per-tier occupancy breakdown when the provider
+	// runs a tiered store (nil for single-tier backends).
+	Tiers []store.TierStat
 }
 
 // List returns a snapshot of the membership. Block/byte counts come
@@ -177,6 +180,7 @@ func (s *State) List() []ProviderInfo {
 		if st, ok := s.reported[n.Addr]; ok {
 			info.Blocks = st.Items
 			info.Bytes = st.Bytes
+			info.Tiers = st.Tiers
 		}
 		out[i] = info
 	}
@@ -277,6 +281,7 @@ func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	st := store.Stats{Items: r.I64(), Bytes: r.I64()}
+	st.Tiers = store.DecodeTiers(r)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -340,6 +345,7 @@ func (s *Service) handleList(p []byte) ([]byte, error) {
 		b.I64(in.Bytes)
 		b.Bool(in.Alive)
 		b.Bool(in.Draining)
+		store.EncodeTiers(b, in.Tiers)
 	}
 	return b.Bytes(), nil
 }
@@ -389,10 +395,11 @@ func (c *Client) Register(ctx context.Context, addr, host string) error {
 // means the manager does not know this provider (it restarted and lost
 // its membership): the caller must Register again.
 func (c *Client) Heartbeat(ctx context.Context, addr string, stats store.Stats) (known bool, err error) {
-	b := wire.NewBuffer(32)
+	b := wire.NewBuffer(32 + 32*len(stats.Tiers))
 	b.String(addr)
 	b.I64(stats.Items)
 	b.I64(stats.Bytes)
+	store.EncodeTiers(b, stats.Tiers)
 	resp, err := c.call(ctx, mHeartbeat, b.Bytes())
 	if err != nil {
 		return false, err
@@ -458,6 +465,7 @@ func (c *Client) List(ctx context.Context) ([]ProviderInfo, error) {
 			Bytes:    r.I64(),
 			Alive:    r.Bool(),
 			Draining: r.Bool(),
+			Tiers:    store.DecodeTiers(r),
 		})
 	}
 	return out, r.Err()

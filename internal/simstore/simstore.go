@@ -58,6 +58,15 @@ type Tuning struct {
 	// BlobSeer stream, which is why the co-deployed RandomTextWriter
 	// still favors BSFS's remote round-robin striping (Section V-G).
 	HDFSLocalWriteBps float64
+
+	// Cold-tier model for providers on a tiered store (store.Tiered).
+	// A block marked demoted serves its next read from the cold tier:
+	// the flow is capped at ColdReadBps (the slow backend's media rate)
+	// and pays ColdPenalty once (promotion setup: cold open + hot
+	// install), after which the block is hot again. Zero ColdReadBps
+	// leaves tiering unmodeled — the calibrated figures are unchanged.
+	ColdReadBps float64
+	ColdPenalty sim.Time
 }
 
 // DefaultTuning returns the calibrated constants.
@@ -150,6 +159,13 @@ type BSFS struct {
 	overlay        map[string][]string // block key -> extra replica addrs
 	RepairedBlocks int
 	RepairedBytes  int64
+
+	// Tiered-store state (see Tuning.ColdReadBps): every written block
+	// key, which of them currently live cold, and how many reads paid
+	// the promotion path.
+	blocks         map[string]bool
+	demoted        map[string]bool
+	PromotedBlocks int
 }
 
 // NewBSFS deploys a simulated BlobSeer instance: the version manager
@@ -172,6 +188,8 @@ func NewBSFS(net *simnet.Net, tun Tuning, strategy placement.Strategy, vmNode si
 		vmRes:    make([]*sim.Resource, shards),
 		dead:     make(map[string]bool),
 		overlay:  make(map[string][]string),
+		blocks:   make(map[string]bool),
+		demoted:  make(map[string]bool),
 	}
 	for k := range b.vmRes {
 		b.vmRes[k] = b.Env.NewResource(1)
@@ -326,6 +344,7 @@ func (b *BSFS) Write(p *sim.Proc, client simnet.NodeID, id blob.ID, kind blob.Wr
 			Providers: targets[i],
 			Len:       ln,
 		}
+		b.blocks[refs[i].Key.String()] = true // fresh writes land hot
 	}
 	if _, err := mdtree.Build(context.Background(), b.Store, m, hist, a.Version, refs); err != nil {
 		return 0, err
@@ -440,7 +459,20 @@ func (b *BSFS) Read(p *sim.Proc, client simnet.NodeID, id blob.ID, off, size int
 			b.readRR++
 		}
 		src := b.provNode[addrs[pick]]
-		b.Net.TransferDisk(cp, src, client, e.Len, b.readCap(), src)
+		rate := b.readCap()
+		if key := e.Block.Key.String(); b.demoted[key] {
+			// Cold hit: the block streams at the slow tier's media rate
+			// and pays the promotion setup once; it is hot afterwards.
+			delete(b.demoted, key)
+			b.PromotedBlocks++
+			if b.Tun.ColdPenalty > 0 {
+				cp.Sleep(b.Tun.ColdPenalty)
+			}
+			if b.Tun.ColdReadBps > 0 && b.Tun.ColdReadBps < rate {
+				rate = b.Tun.ColdReadBps
+			}
+		}
+		b.Net.TransferDisk(cp, src, client, e.Len, rate, src)
 	})
 	if lost != nil {
 		return 0, fmt.Errorf("simstore: all replicas of block %s dead", lost.Block.Key)
@@ -620,6 +652,21 @@ func (b *BSFS) Repair(p *sim.Proc, concurrency int) (int, error) {
 		b.RepairedBytes += j.ref.Len * int64(len(j.dst))
 	})
 	return copies, nil
+}
+
+// DemoteAll moves every stored block to the cold tier (the simulated
+// twin of store.Tiered.DemoteNow with an elapsed idle policy), and
+// returns how many blocks went cold. Subsequent reads pay the cold-tier
+// path once per block, then the block is hot again.
+func (b *BSFS) DemoteAll() int {
+	n := 0
+	for k := range b.blocks {
+		if !b.demoted[k] {
+			b.demoted[k] = true
+			n++
+		}
+	}
+	return n
 }
 
 // Layout returns blocks-per-provider counts (Figure 3b).

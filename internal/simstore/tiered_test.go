@@ -1,0 +1,126 @@
+package simstore
+
+import (
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/placement"
+	"blobseer/internal/sim"
+	"blobseer/internal/simnet"
+)
+
+// tieredBSFS deploys the small fabric with the cold-tier model on: cold
+// reads stream at a quarter of the link rate and pay a promotion setup.
+func tieredBSFS(t *testing.T) *BSFS {
+	t.Helper()
+	env := sim.NewEnv()
+	net := simnet.New(env, simnet.Grid5000(12))
+	tun := DefaultTuning()
+	tun.ColdReadBps = 0.25 * net.Config().UpBps
+	tun.ColdPenalty = 5 * sim.Millisecond
+	return NewBSFS(net, tun, placement.NewRoundRobin(),
+		0, []simnet.NodeID{1, 2}, []simnet.NodeID{3, 4, 5, 6, 7, 8, 9})
+}
+
+// TestSimColdReadSlowerThenPromoted: a demoted block's first read pays
+// the cold tier (slower than a hot read), the second read — after
+// promotion — runs at the hot rate again, and every byte stays
+// readable throughout.
+func TestSimColdReadSlowerThenPromoted(t *testing.T) {
+	b := tieredBSFS(t)
+	m := b.CreateBlob(testBlock, 1)
+	b.Env.Go(func(p *sim.Proc) {
+		if _, err := b.Write(p, 10, m.ID, blob.KindAppend, 0, 2*testBlock, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	b.Env.Run()
+
+	// Hot baseline.
+	var hotStart, hotEnd sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		hotStart = p.Now()
+		if n, err := b.Read(p, 11, m.ID, 0, 2*testBlock); err != nil || n != 2*testBlock {
+			t.Errorf("hot read = %d bytes, %v", n, err)
+		}
+		hotEnd = p.Now()
+	})
+	b.Env.Run()
+	hotTime := (hotEnd - hotStart).Seconds()
+
+	if n := b.DemoteAll(); n != 2 {
+		t.Fatalf("DemoteAll moved %d blocks, want 2", n)
+	}
+
+	// Cold read: same bytes, slower.
+	var coldStart, coldEnd sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		coldStart = p.Now()
+		if n, err := b.Read(p, 11, m.ID, 0, 2*testBlock); err != nil || n != 2*testBlock {
+			t.Errorf("cold read = %d bytes, %v", n, err)
+		}
+		coldEnd = p.Now()
+	})
+	b.Env.Run()
+	coldTime := (coldEnd - coldStart).Seconds()
+	if coldTime <= hotTime*1.5 {
+		t.Errorf("cold read took %.3fs vs hot %.3fs; want clearly slower", coldTime, hotTime)
+	}
+	if b.PromotedBlocks != 2 {
+		t.Errorf("PromotedBlocks = %d, want 2", b.PromotedBlocks)
+	}
+
+	// Re-read after promotion: hot rate again.
+	var reStart, reEnd sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		reStart = p.Now()
+		if n, err := b.Read(p, 11, m.ID, 0, 2*testBlock); err != nil || n != 2*testBlock {
+			t.Errorf("promoted read = %d bytes, %v", n, err)
+		}
+		reEnd = p.Now()
+	})
+	b.Env.Run()
+	reTime := (reEnd - reStart).Seconds()
+	if reTime > hotTime*1.2 {
+		t.Errorf("promoted re-read took %.3fs vs hot baseline %.3fs; promotion did not restore the hot path", reTime, hotTime)
+	}
+	if b.PromotedBlocks != 2 {
+		t.Errorf("promoted re-read changed PromotedBlocks to %d", b.PromotedBlocks)
+	}
+}
+
+// TestSimTieringOffByDefault: with ColdReadBps unset, DemoteAll changes
+// nothing — the calibrated figures stay exactly as measured.
+func TestSimTieringOffByDefault(t *testing.T) {
+	b := smallBSFS(t)
+	m := b.CreateBlob(testBlock, 1)
+	b.Env.Go(func(p *sim.Proc) {
+		if _, err := b.Write(p, 10, m.ID, blob.KindAppend, 0, testBlock, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	b.Env.Run()
+	var hotStart, hotEnd sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		hotStart = p.Now()
+		if _, err := b.Read(p, 11, m.ID, 0, testBlock); err != nil {
+			t.Error(err)
+		}
+		hotEnd = p.Now()
+	})
+	b.Env.Run()
+
+	b.DemoteAll()
+	var coldStart, coldEnd sim.Time
+	b.Env.Go(func(p *sim.Proc) {
+		coldStart = p.Now()
+		if _, err := b.Read(p, 11, m.ID, 0, testBlock); err != nil {
+			t.Error(err)
+		}
+		coldEnd = p.Now()
+	})
+	b.Env.Run()
+	if hot, cold := (hotEnd - hotStart), (coldEnd - coldStart); cold != hot {
+		t.Errorf("unmodeled tiering changed read time: hot %v cold %v", hot, cold)
+	}
+}

@@ -1,0 +1,96 @@
+package store_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"blobseer/internal/store"
+	"blobseer/internal/store/storetest"
+)
+
+// TestConformance runs the shared contract harness against every
+// backend, each behind the same URL factory the daemons use.
+func TestConformance(t *testing.T) {
+	t.Run("Mem", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "mem://")
+		})
+	})
+	t.Run("FS", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "file://"+t.TempDir())
+		})
+	})
+	t.Run("FSSync", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "file://"+t.TempDir()+"?sync=1")
+		})
+	})
+	t.Run("HTTP", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			srv := httptest.NewServer(store.Handler(store.NewMemStore()))
+			t.Cleanup(srv.Close)
+			return openURL(t, srv.URL)
+		})
+	})
+	t.Run("HTTPOverFS", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			backing, err := store.NewFSStore(t.TempDir(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(store.Handler(backing))
+			t.Cleanup(srv.Close)
+			return openURL(t, srv.URL)
+		})
+	})
+	t.Run("TieredWriteThrough", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "tiered://?hot=mem://&cold=mem://")
+		})
+	})
+	t.Run("TieredWriteBack", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "tiered://?hot=mem://&cold=mem://&write-back=1")
+		})
+	})
+	t.Run("TieredFSCold", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			return openURL(t, "tiered://?hot=mem://&cold=file://"+t.TempDir())
+		})
+	})
+	// The contract must hold while the policy loop demotes everything
+	// it can as fast as it can — reads land mid-demotion and must still
+	// see every committed block via promotion.
+	t.Run("TieredAggressiveDemotion", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			hot := store.NewMemStore()
+			cold := store.NewMemStore()
+			return store.NewTiered(hot, cold, store.TierOptions{
+				DemoteAfter: 0,
+				Interval:    time.Millisecond,
+			})
+		})
+	})
+	t.Run("TieredAggressiveWriteBack", func(t *testing.T) {
+		storetest.Run(t, func(t *testing.T) store.Store {
+			hot := store.NewMemStore()
+			cold := store.NewMemStore()
+			return store.NewTiered(hot, cold, store.TierOptions{
+				DemoteAfter: 0,
+				Interval:    time.Millisecond,
+				WriteBack:   true,
+			})
+		})
+	})
+}
+
+func openURL(t *testing.T, rawURL string) store.Store {
+	t.Helper()
+	st, err := store.Open(rawURL)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", rawURL, err)
+	}
+	return st
+}

@@ -75,7 +75,25 @@ func (s *FSStore) Put(key string, val []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("fsstore: commit %s: %w", key, err)
 	}
+	if s.sync {
+		// The rename is only durable once the directory entry is: fsync
+		// the parent, or a power loss can roll back a committed block
+		// even though its bytes were synced.
+		if err := s.syncDir(); err != nil {
+			return fmt.Errorf("fsstore: commit %s: %w", key, err)
+		}
+	}
 	return nil
+}
+
+// syncDir fsyncs the store directory, making recent renames durable.
+func (s *FSStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // PutWriter implements Store. Frames accumulate in a uniquely named
@@ -137,6 +155,11 @@ func (w *fsWriter) Commit() error {
 	if err := os.Rename(w.tmp, w.s.path(w.key)); err != nil {
 		os.Remove(w.tmp)
 		return fmt.Errorf("fsstore: commit %s: %w", w.key, err)
+	}
+	if w.s.sync {
+		if err := w.s.syncDir(); err != nil {
+			return fmt.Errorf("fsstore: commit %s: %w", w.key, err)
+		}
 	}
 	return nil
 }

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"errors"
 	"hash/fnv"
 	"strings"
 	"sync"
@@ -45,71 +44,16 @@ func (s *MemStore) Put(key string, val []byte) error {
 	return nil
 }
 
-// PutWriter implements Store.
+// PutWriter implements Store. Frames accumulate in a private buffer
+// whose ownership transfers to the store on Commit (no copy).
 func (s *MemStore) PutWriter(key string) (BlockWriter, error) {
-	return &memWriter{s: s, key: key}, nil
-}
-
-// memWriter accumulates frames in a private buffer and installs it on
-// Commit without a copy (the buffer ownership transfers to the store).
-type memWriter struct {
-	s    *MemStore
-	key  string
-	mu   sync.Mutex
-	buf  []byte
-	done bool
-}
-
-func (w *memWriter) WriteAt(p []byte, off int64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.done {
-		return errors.New("store: write on finished writer")
-	}
-	if off < 0 {
-		return errors.New("store: negative write offset")
-	}
-	if end := int(off) + len(p); end > len(w.buf) {
-		if end > cap(w.buf) {
-			// Grow geometrically: frames mostly arrive in ascending
-			// order, so linear growth would copy the buffer once per
-			// frame — quadratic in the block size.
-			newCap := 2 * cap(w.buf)
-			if newCap < end {
-				newCap = end
-			}
-			grown := make([]byte, end, newCap)
-			copy(grown, w.buf)
-			w.buf = grown
-		} else {
-			w.buf = w.buf[:end]
-		}
-	}
-	copy(w.buf[off:], p)
-	return nil
-}
-
-func (w *memWriter) Commit() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.done {
-		return errors.New("store: commit on finished writer")
-	}
-	w.done = true
-	sh := w.s.shard(w.key)
-	sh.mu.Lock()
-	sh.m[w.key] = w.buf
-	sh.mu.Unlock()
-	w.buf = nil
-	return nil
-}
-
-func (w *memWriter) Abort() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.done = true
-	w.buf = nil
-	return nil
+	return newBufWriter(func(buf []byte) error {
+		sh := s.shard(key)
+		sh.mu.Lock()
+		sh.m[key] = buf
+		sh.mu.Unlock()
+		return nil
+	}), nil
 }
 
 // Get implements Store.

@@ -1,7 +1,14 @@
 // Package store provides the storage engines behind data providers and
-// metadata providers: a sharded in-memory store (the default for
-// experiments, mirroring the paper's RAM-resident providers) and a
-// file-backed store for durable deployments.
+// metadata providers. Backends are selected by URL through Open (see
+// factory.go): a sharded in-memory store ("mem://", the default for
+// experiments, mirroring the paper's RAM-resident providers), a
+// file-backed store for durable deployments ("file:///dir?sync=1"), a
+// generic HTTP object store speaking an S3-flavored GET/PUT/DELETE/
+// range/list protocol ("http://host:port/base"), and a composing
+// hot/cold tiered engine ("tiered://?hot=...&cold=...") that demotes
+// idle blocks to the slow backend and promotes them back on read.
+// Every backend implements the full Store contract, so providers, the
+// repair plane and GC run unchanged on any of them.
 package store
 
 import "errors"
@@ -9,10 +16,21 @@ import "errors"
 // ErrNotFound is returned when a key is absent.
 var ErrNotFound = errors.New("store: key not found")
 
-// Stats summarizes a store's contents.
+// TierStat is one storage tier's occupancy inside a composite store.
+type TierStat struct {
+	Name  string // "hot" / "cold"
+	Items int64
+	Bytes int64
+}
+
+// Stats summarizes a store's contents. Items and Bytes count the
+// logical contents (each key once, however many tiers hold a copy);
+// Tiers breaks physical occupancy down per tier for composite engines
+// (empty for flat backends).
 type Stats struct {
 	Items int64
 	Bytes int64
+	Tiers []TierStat
 }
 
 // BlockWriter assembles one value from frames that may arrive in any

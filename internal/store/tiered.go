@@ -1,0 +1,427 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TierOptions configures a Tiered store's demotion policy and write
+// path.
+type TierOptions struct {
+	// MaxHotBytes bounds the hot tier: whenever it grows past this,
+	// least-recently-accessed blocks are demoted until it fits again.
+	// 0 leaves the hot tier unbounded (age-driven demotion only).
+	MaxHotBytes int64
+	// DemoteAfter is the idle age at which a policy pass demotes a hot
+	// block. 0 makes every pass demote everything not accessed since
+	// the previous pass started (useful for tests and ablations; real
+	// deployments want an age like 10m).
+	DemoteAfter time.Duration
+	// Interval runs the background policy loop this often. 0 disables
+	// the loop; DemoteNow still works for manual or test-driven passes.
+	Interval time.Duration
+	// WriteBack selects the write path. Write-through (the default)
+	// copies every committed block to the cold tier immediately, so
+	// demotion is a pure hot-copy drop. Write-back lands blocks on the
+	// hot tier only and defers the cold copy to demotion — faster
+	// writes, but blocks written since the last pass live in one tier.
+	WriteBack bool
+}
+
+// TierCounters snapshots a Tiered store's traffic split.
+type TierCounters struct {
+	HotHits    int64 // reads served by the hot tier
+	ColdHits   int64 // reads that had to touch the cold tier
+	Promotions int64 // cold blocks copied back to hot on read
+	Demotions  int64 // hot blocks dropped (and flushed, when dirty) to cold
+}
+
+// Tiered composes a fast hot store and a slow cold store into one
+// Store: reads hit the hot tier first and transparently promote cold
+// blocks back on a miss, a policy loop demotes idle blocks, and every
+// contract operation (Keys, Has, Delete, DeletePrefix) spans both
+// tiers — so providers, block reports, repair and GC see one logical
+// store and a demoted block still counts as present. Build one with
+// NewTiered or a "tiered://?hot=...&cold=..." URL.
+type Tiered struct {
+	hot, cold Store
+	opts      TierOptions
+
+	hotHits, coldHits, promotions, demotions atomic.Int64
+
+	mu         sync.Mutex
+	access     map[string]time.Time // last access per hot-resident key
+	dirty      map[string]int64     // write-back keys not yet flushed (-> value size)
+	dirtyBytes int64
+	stop       chan struct{}
+}
+
+// NewTiered composes hot and cold under the given policy, taking
+// ownership of both (Close closes them). The background policy loop
+// starts immediately when opts.Interval > 0.
+func NewTiered(hot, cold Store, opts TierOptions) *Tiered {
+	s := &Tiered{
+		hot:    hot,
+		cold:   cold,
+		opts:   opts,
+		access: make(map[string]time.Time),
+		dirty:  make(map[string]int64),
+	}
+	if opts.Interval > 0 {
+		s.stop = make(chan struct{})
+		go s.policyLoop(s.stop)
+	}
+	return s
+}
+
+func (s *Tiered) policyLoop(stop <-chan struct{}) {
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.DemoteNow()
+		}
+	}
+}
+
+// Put implements Store.
+func (s *Tiered) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, val)
+}
+
+func (s *Tiered) putLocked(key string, val []byte) error {
+	if s.opts.WriteBack {
+		if err := s.hot.Put(key, val); err != nil {
+			return err
+		}
+		if old, ok := s.dirty[key]; ok {
+			s.dirtyBytes -= old
+		} else if err := s.cold.Delete(key); err != nil {
+			// Drop any demoted copy of the old value so the tiers never
+			// hold two generations of one key.
+			return err
+		}
+		s.dirty[key] = int64(len(val))
+		s.dirtyBytes += int64(len(val))
+	} else {
+		// Cold first: a block is committed only once the durable tier
+		// holds it; the hot copy is a pure read accelerator.
+		if err := s.cold.Put(key, val); err != nil {
+			return err
+		}
+		if err := s.hot.Put(key, val); err != nil {
+			return err
+		}
+	}
+	s.access[key] = time.Now()
+	s.evictLocked()
+	return nil
+}
+
+// PutWriter implements Store: frames assemble locally and land through
+// the tier write path in one shot on Commit, so neither tier ever
+// holds a partial block.
+func (s *Tiered) PutWriter(key string) (BlockWriter, error) {
+	return newBufWriter(func(buf []byte) error {
+		return s.Put(key, buf)
+	}), nil
+}
+
+// Get implements Store, promoting on a hot miss.
+func (s *Tiered) Get(key string) ([]byte, error) {
+	if val, err := s.hot.Get(key); err == nil {
+		s.hotHits.Add(1)
+		s.touch(key)
+		return val, nil
+	} else if err != ErrNotFound {
+		return nil, err
+	}
+	val, err := s.cold.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	s.coldHits.Add(1)
+	s.promote(key, val)
+	return val, nil
+}
+
+// GetRange implements Store. A cold hit promotes the whole block —
+// the access pattern that demoted it was cold, the one reading it back
+// is likely sequential over the block — then serves the range from the
+// promoted copy.
+func (s *Tiered) GetRange(key string, off, length int64) ([]byte, error) {
+	if val, err := s.hot.GetRange(key, off, length); err == nil {
+		s.hotHits.Add(1)
+		s.touch(key)
+		return val, nil
+	} else if err != ErrNotFound {
+		return nil, err
+	}
+	val, err := s.cold.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	s.coldHits.Add(1)
+	s.promote(key, val)
+	o, l := clampRange(int64(len(val)), off, length)
+	return append([]byte(nil), val[o:o+l]...), nil
+}
+
+func (s *Tiered) touch(key string) {
+	s.mu.Lock()
+	if _, ok := s.access[key]; ok {
+		s.access[key] = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// promote installs a cold block's value in the hot tier. Best-effort:
+// a full hot tier or a raced delete leaves the read correct either way.
+func (s *Tiered) promote(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cold.Has(key) {
+		return // deleted while we were reading; do not resurrect it
+	}
+	if err := s.hot.Put(key, val); err != nil {
+		return
+	}
+	s.access[key] = time.Now()
+	s.promotions.Add(1)
+	s.evictLocked()
+}
+
+// Has implements Store: a block in either tier is present.
+func (s *Tiered) Has(key string) bool {
+	return s.hot.Has(key) || s.cold.Has(key)
+}
+
+// Delete implements Store, removing the key from both tiers.
+func (s *Tiered) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forgetLocked(key)
+	return errors.Join(s.hot.Delete(key), s.cold.Delete(key))
+}
+
+func (s *Tiered) forgetLocked(key string) {
+	delete(s.access, key)
+	if sz, ok := s.dirty[key]; ok {
+		s.dirtyBytes -= sz
+		delete(s.dirty, key)
+	}
+}
+
+// DeletePrefix implements Store: the sweep spans both tiers, so GC
+// reclaims demoted blocks too. The count is distinct logical keys.
+func (s *Tiered) DeletePrefix(prefix string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys, err := s.keysLocked(prefix)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		s.forgetLocked(k)
+	}
+	if _, err := s.hot.DeletePrefix(prefix); err != nil {
+		return 0, err
+	}
+	if _, err := s.cold.DeletePrefix(prefix); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// Keys implements Store: the union of both tiers, each key once —
+// block reports list demoted blocks, so the repair plane never
+// re-replicates a block for merely being cold.
+func (s *Tiered) Keys(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keysLocked(prefix)
+}
+
+func (s *Tiered) keysLocked(prefix string) ([]string, error) {
+	hotKeys, err := s.hot.Keys(prefix)
+	if err != nil {
+		return nil, err
+	}
+	coldKeys, err := s.cold.Keys(prefix)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(hotKeys)+len(coldKeys))
+	out := make([]string, 0, len(coldKeys))
+	for _, set := range [][]string{coldKeys, hotKeys} {
+		for _, k := range set {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats implements Store. Items/Bytes count the logical contents (cold
+// holds everything except unflushed write-back blocks); Tiers breaks
+// down physical occupancy.
+func (s *Tiered) Stats() Stats {
+	// Snapshot under the mutation lock so a concurrent demotion cannot
+	// move a block between the cold snapshot and the dirty count.
+	s.mu.Lock()
+	hotSt := s.hot.Stats()
+	coldSt := s.cold.Stats()
+	st := Stats{
+		Items: coldSt.Items + int64(len(s.dirty)),
+		Bytes: coldSt.Bytes + s.dirtyBytes,
+	}
+	s.mu.Unlock()
+	st.Tiers = []TierStat{
+		{Name: "hot", Items: hotSt.Items, Bytes: hotSt.Bytes},
+		{Name: "cold", Items: coldSt.Items, Bytes: coldSt.Bytes},
+	}
+	return st
+}
+
+// TierStats returns each tier's physical occupancy.
+func (s *Tiered) TierStats() (hot, cold Stats) {
+	return s.hot.Stats(), s.cold.Stats()
+}
+
+// Counters snapshots the tier traffic counters.
+func (s *Tiered) Counters() TierCounters {
+	return TierCounters{
+		HotHits:    s.hotHits.Load(),
+		ColdHits:   s.coldHits.Load(),
+		Promotions: s.promotions.Load(),
+		Demotions:  s.demotions.Load(),
+	}
+}
+
+// DemoteNow runs one policy pass synchronously and reports how many
+// blocks it demoted: first every hot block idle for DemoteAfter or
+// longer (oldest first), then — when MaxHotBytes bounds the hot tier —
+// least-recently-used blocks until the tier fits. Dirty write-back
+// blocks are flushed to cold before their hot copy is dropped.
+func (s *Tiered) DemoteNow() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-s.opts.DemoteAfter)
+	type aged struct {
+		key string
+		at  time.Time
+	}
+	byAge := make([]aged, 0, len(s.access))
+	for k, at := range s.access {
+		byAge = append(byAge, aged{k, at})
+	}
+	sort.Slice(byAge, func(i, j int) bool { return byAge[i].at.Before(byAge[j].at) })
+
+	n := 0
+	rest := byAge[:0]
+	for _, a := range byAge {
+		if a.at.After(cutoff) {
+			rest = append(rest, a)
+			continue
+		}
+		if err := s.demoteLocked(a.key); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if s.opts.MaxHotBytes > 0 {
+		st := s.hot.Stats()
+		for _, a := range rest {
+			if st.Bytes <= s.opts.MaxHotBytes {
+				break
+			}
+			sz, err := s.sizeOf(a.key)
+			if err != nil {
+				return n, err
+			}
+			if err := s.demoteLocked(a.key); err != nil {
+				return n, err
+			}
+			st.Bytes -= sz
+			n++
+		}
+	}
+	return n, nil
+}
+
+// evictLocked demotes least-recently-used blocks until the hot tier is
+// back under MaxHotBytes (called after every hot insert).
+func (s *Tiered) evictLocked() {
+	if s.opts.MaxHotBytes <= 0 {
+		return
+	}
+	st := s.hot.Stats()
+	for st.Bytes > s.opts.MaxHotBytes && len(s.access) > 0 {
+		oldest, at := "", time.Time{}
+		for k, t := range s.access {
+			if oldest == "" || t.Before(at) {
+				oldest, at = k, t
+			}
+		}
+		sz, err := s.sizeOf(oldest)
+		if err != nil || s.demoteLocked(oldest) != nil {
+			return // eviction is best-effort; the next pass retries
+		}
+		st.Bytes -= sz
+	}
+}
+
+func (s *Tiered) sizeOf(key string) (int64, error) {
+	val, err := s.hot.Get(key)
+	if err == ErrNotFound {
+		return 0, nil
+	}
+	return int64(len(val)), err
+}
+
+// demoteLocked drops one block's hot copy, flushing it to cold first
+// when it is dirty. Caller holds s.mu.
+func (s *Tiered) demoteLocked(key string) error {
+	if _, dirty := s.dirty[key]; dirty {
+		val, err := s.hot.Get(key)
+		if err == ErrNotFound {
+			s.forgetLocked(key)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.cold.Put(key, val); err != nil {
+			return err // keep it hot and dirty; the next pass retries
+		}
+		s.dirtyBytes -= s.dirty[key]
+		delete(s.dirty, key)
+	}
+	if err := s.hot.Delete(key); err != nil {
+		return err
+	}
+	delete(s.access, key)
+	s.demotions.Add(1)
+	return nil
+}
+
+// Close implements Store: stops the policy loop and closes both tiers.
+func (s *Tiered) Close() error {
+	s.mu.Lock()
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+	s.mu.Unlock()
+	return errors.Join(s.hot.Close(), s.cold.Close())
+}

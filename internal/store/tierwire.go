@@ -1,0 +1,39 @@
+package store
+
+import "blobseer/internal/wire"
+
+// EncodeTiers appends a Stats.Tiers breakdown to a wire buffer as
+// ntiers u32 | (name string | items i64 | bytes i64)*. Single-tier
+// backends encode a zero count. Shared by the provider stat response
+// and the provider-manager heartbeat/list payloads so every hop carries
+// the same per-tier occupancy a tiered store reports.
+func EncodeTiers(b *wire.Buffer, tiers []TierStat) {
+	b.U32(uint32(len(tiers)))
+	for _, ts := range tiers {
+		b.String(ts.Name)
+		b.I64(ts.Items)
+		b.I64(ts.Bytes)
+	}
+}
+
+// DecodeTiers reads the breakdown written by EncodeTiers. A missing
+// suffix (older peer) or zero count decodes as nil: a single-tier
+// backend.
+func DecodeTiers(r *wire.Reader) []TierStat {
+	if r.Remaining() == 0 {
+		return nil
+	}
+	n := r.U32()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	tiers := make([]TierStat, 0, n)
+	for i := uint32(0); i < n; i++ {
+		tiers = append(tiers, TierStat{
+			Name:  r.String(),
+			Items: r.I64(),
+			Bytes: r.I64(),
+		})
+	}
+	return tiers
+}

@@ -62,6 +62,7 @@ import (
 	"blobseer/internal/dht"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
 	"blobseer/internal/namespace"
 	"blobseer/internal/placement"
 	"blobseer/internal/pmanager"
@@ -101,6 +102,7 @@ func main() {
 		expire   = flag.Duration("expire-after", 0, "pmanager: mark providers silent this long dead (0 disables the liveness loop)")
 		repEvery = flag.Duration("repair-interval", 30*time.Second, "repair: scan-and-repair period")
 		repConc  = flag.Int("repair-concurrency", 0, "repair: parallel block repairs (0 = default)")
+		metAddr  = flag.String("metrics-addr", "", "HTTP address serving this daemon's /metrics (\"127.0.0.1:0\" picks a port; empty disables)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -153,6 +155,22 @@ func main() {
 		}
 		return log_
 	}
+	// serveMetrics exports one service registry over HTTP when
+	// -metrics-addr is set; it returns the listener's stop function
+	// (nil when metrics are off or the role has no registry).
+	serveMetrics := func(name string, reg *metrics.Registry) func() error {
+		if *metAddr == "" || reg == nil {
+			return nil
+		}
+		exp := metrics.NewExporter()
+		exp.Register(name, reg)
+		bound, stop, err := exp.Serve(*metAddr)
+		if err != nil {
+			log.Fatalf("metrics listener on %s: %v", *metAddr, err)
+		}
+		log.Printf("metrics on http://%s/metrics", bound)
+		return stop
+	}
 	newStrategy := func() placement.Strategy {
 		switch *strategy {
 		case "roundrobin":
@@ -192,11 +210,15 @@ func main() {
 		})
 		eng.Start(*repEvery)
 		log.Printf("repair loop running (every %s)", *repEvery)
+		stopM := serveMetrics("repair", eng.Metrics())
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("shutting down")
 		eng.Stop()
+		if stopM != nil {
+			_ = stopM()
+		}
 		return
 	}
 
@@ -204,10 +226,13 @@ func main() {
 		mux     *rpc.Mux
 		cleanup func()
 		provSvc *provider.Service
+		mreg    *metrics.Registry // the role's registry for -metrics-addr
 	)
 	switch *role {
 	case "meta":
-		mux = dht.NewMetaService(newStore()).Mux()
+		svc := dht.NewMetaService(newStore())
+		mreg = svc.Metrics()
+		mux = svc.Mux()
 
 	case "vmanager":
 		var repair vmanager.Repairer
@@ -253,6 +278,7 @@ func main() {
 				log.Printf("vmanager: close WAL: %v", err)
 			}
 		}
+		mreg = svc.Metrics()
 		mux = svc.Mux()
 
 	case "pmanager":
@@ -261,6 +287,7 @@ func main() {
 			svc.StartExpiry(*expire, *expire/2)
 			cleanup = svc.StopExpiry
 		}
+		mreg = svc.Metrics()
 		mux = svc.Mux()
 
 	case "namespace":
@@ -285,16 +312,21 @@ func main() {
 				log.Printf("namespace: close WAL: %v", err)
 			}
 		}
-		mux = namespace.NewService(state).Mux()
+		nsSvc := namespace.NewService(state)
+		mreg = nsSvc.Metrics()
+		mux = nsSvc.Mux()
 
 	case "provider":
 		// Providers forward chain frames to downstream replicas over
 		// their own TCP pool.
 		provSvc = provider.NewService(newStore(), provider.WithForwarder(rpc.NewPool(rpc.TCPDialer)))
+		mreg = provSvc.Metrics()
 		mux = provSvc.Mux()
 
 	case "datanode":
-		mux = provider.NewService(newStore()).Mux()
+		dnSvc := provider.NewService(newStore())
+		mreg = dnSvc.Metrics()
+		mux = dnSvc.Mux()
 
 	case "namenode":
 		mux = hdfs.NewService(hdfs.NewNamenode(*blockSz, newStrategy())).Mux()
@@ -315,6 +347,7 @@ func main() {
 		}
 	}()
 	log.Printf("%s listening on %s", *role, addr)
+	stopM := serveMetrics(*role, mreg)
 
 	// Storage daemons announce themselves to their manager so clients
 	// can be pointed at the manager alone.
@@ -376,6 +409,9 @@ func main() {
 	log.Printf("shutting down")
 	if cleanup != nil {
 		cleanup()
+	}
+	if stopM != nil {
+		_ = stopM()
 	}
 	srv.Close()
 }

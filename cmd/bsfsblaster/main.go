@@ -1,0 +1,221 @@
+// Command bsfsblaster drives a configurable open/read/write/append
+// load against a BlobSeer deployment and reports sustained throughput,
+// per-op latency percentiles and the error rate as BENCH_blaster.json.
+//
+// Simulated mode (the default) boots a whole in-process cluster and
+// blasts it — a one-command load test of the full stack:
+//
+//	bsfsblaster -sim -workers 8 -duration 30s -metrics-addr 127.0.0.1:9100
+//
+// Real mode points the same engine at a running deployment (see
+// cmd/blobseerd), exercising exactly the client stack Hadoop would:
+//
+//	bsfsblaster -sim=false -vmanager 127.0.0.1:7001 -pmanager 127.0.0.1:7002 \
+//	            -namespace 127.0.0.1:7003 -meta 127.0.0.1:7101 -duration 60s
+//
+// -duration 0 selects long-run mode: the blaster runs until SIGINT or
+// SIGTERM and measures the whole steady state. While a run is live,
+// -metrics-addr serves /metrics with the blaster's own counters and
+// histograms (plus, in simulated mode, every daemon of the embedded
+// cluster) — `bsfsctl -metrics <addr> top` watches the rates.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blobseer/internal/bench"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/cluster"
+	"blobseer/internal/core"
+	"blobseer/internal/dht"
+	"blobseer/internal/fs"
+	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
+	"blobseer/internal/namespace"
+	"blobseer/internal/rpc"
+	"blobseer/internal/util"
+)
+
+func main() {
+	var (
+		sim      = flag.Bool("sim", true, "boot an in-process cluster and blast it (false: connect to a real deployment)")
+		workers  = flag.Int("workers", 4, "closed-loop worker goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "measured steady-state window (0 = long-run: until SIGINT)")
+		ramp     = flag.Duration("ramp", 2*time.Second, "untimed warm-up before measurement")
+		files    = flag.Int("files", 8, "shared working-set files")
+		fileSize = flag.Int64("file-size", 0, "initial bytes per working-set file (0 = 4x -io-size)")
+		ioSize   = flag.Int("io-size", 64*int(util.KB), "bytes per read/write/append op")
+		mixOpen  = flag.Int("opens", 10, "mix weight: open/close")
+		mixRead  = flag.Int("reads", 60, "mix weight: random reads")
+		mixWrite = flag.Int("writes", 20, "mix weight: whole-file writes")
+		mixApp   = flag.Int("appends", 10, "mix weight: shared-file appends")
+		budget   = flag.Float64("error-budget", 0.01, "highest tolerable failed-op fraction (concurrent unaligned appends can conflict by design)")
+		rahead   = flag.Int("readahead", 2, "sequential-read prefetch window in blocks (0 = synchronous)")
+		wbehind  = flag.Int("write-behind", 2, "async commit window in blocks (0 = synchronous)")
+		out      = flag.String("out", "BENCH_blaster.json", "report path (empty disables)")
+		metAddr  = flag.String("metrics-addr", "", "HTTP address serving /metrics during the run (empty disables)")
+		seed     = flag.Int64("seed", 1, "worker RNG seed")
+
+		// Simulated-cluster shape.
+		providers = flag.Int("providers", 4, "sim: data providers")
+		metaProv  = flag.Int("meta-providers", 2, "sim: metadata providers")
+		blockSz   = flag.Int64("block-size", util.MB, "sim: block size (and new-file striping unit in real mode)")
+		repl      = flag.Int("replication", 1, "replication level for blaster files")
+
+		// Real-deployment endpoints (ignored with -sim).
+		vmAddr = flag.String("vmanager", "127.0.0.1:7001", "real: comma-separated version manager shard addresses")
+		pmAddr = flag.String("pmanager", "127.0.0.1:7002", "real: provider manager address")
+		nsAddr = flag.String("namespace", "127.0.0.1:7003", "real: namespace manager address")
+		metas  = flag.String("meta", "127.0.0.1:7101", "real: comma-separated metadata provider addresses")
+		mrepl  = flag.Int("meta-replication", 1, "real: DHT replication level")
+		mcache = flag.Int("meta-cache", -1, "real: immutable-node cache entries (<0 default, 0 off)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("bsfsblaster: ")
+
+	// Long-run mode (and early aborts either way): SIGINT/SIGTERM ends
+	// the measurement window cleanly and the report still lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("signal received; finishing the run")
+		cancel()
+	}()
+
+	reg := metrics.NewRegistry()
+	var fsys fs.FileSystem
+	if *sim {
+		cl, err := cluster.StartBlobSeer(cluster.Config{
+			DataProviders: *providers,
+			MetaProviders: *metaProv,
+			BlockSize:     *blockSz,
+			Replication:   *repl,
+			MetricsAddr:   *metAddr,
+		})
+		if err != nil {
+			log.Fatalf("start cluster: %v", err)
+		}
+		defer cl.Stop()
+		clientCore, _ := cl.NewMeteredClient("", "client")
+		cl.Exporter().Register("blaster", reg)
+		fsys, err = bsfs.New(bsfs.Config{
+			Core:             clientCore,
+			NS:               namespace.NewClient(cl.Pool, cl.NSAddr),
+			BlockSize:        *blockSz,
+			Replication:      *repl,
+			ReadaheadBlocks:  *rahead,
+			WriteBehindDepth: *wbehind,
+		})
+		if err != nil {
+			log.Fatalf("bsfs: %v", err)
+		}
+		if url := cl.MetricsURL(); url != "" {
+			log.Printf("metrics on %s/metrics", url)
+		}
+	} else {
+		pool := rpc.NewPool(rpc.TCPDialer)
+		defer pool.Close()
+		ring := dht.NewRing(splitAddrs(*metas), dht.DefaultVnodes)
+		metaStore := mdtree.NewDHTStore(dht.NewClient(ring, pool, *mrepl))
+		vmAddrs := splitAddrs(*vmAddr)
+		if len(vmAddrs) == 0 {
+			log.Fatal("-vmanager: no addresses")
+		}
+		clientCore := core.NewClient(core.Config{
+			Pool:          pool,
+			VMAddr:        vmAddrs[0],
+			VMAddrs:       vmAddrs,
+			PMAddr:        *pmAddr,
+			MetaStore:     metaStore,
+			MetaCacheSize: *mcache,
+			Metrics:       reg,
+		})
+		var err error
+		fsys, err = bsfs.New(bsfs.Config{
+			Core:             clientCore,
+			NS:               namespace.NewClient(pool, *nsAddr),
+			BlockSize:        *blockSz,
+			Replication:      *repl,
+			ReadaheadBlocks:  *rahead,
+			WriteBehindDepth: *wbehind,
+		})
+		if err != nil {
+			log.Fatalf("bsfs: %v", err)
+		}
+		if *metAddr != "" {
+			exp := metrics.NewExporter()
+			exp.Register("blaster", reg)
+			bound, stop, err := exp.Serve(*metAddr)
+			if err != nil {
+				log.Fatalf("metrics listener on %s: %v", *metAddr, err)
+			}
+			defer stop()
+			log.Printf("metrics on http://%s/metrics", bound)
+		}
+	}
+
+	mode := fmt.Sprintf("%s window", *duration)
+	if *duration == 0 {
+		mode = "long-run (until signal)"
+	}
+	log.Printf("blasting: %d workers, mix open/read/write/append = %d/%d/%d/%d, %s",
+		*workers, *mixOpen, *mixRead, *mixWrite, *mixApp, mode)
+	report, err := bench.RunBlaster(ctx, bench.BlasterConfig{
+		FS:          fsys,
+		Workers:     *workers,
+		Duration:    *duration,
+		Ramp:        *ramp,
+		Files:       *files,
+		FileSize:    *fileSize,
+		IOSize:      *ioSize,
+		MixOpen:     *mixOpen,
+		MixRead:     *mixRead,
+		MixWrite:    *mixWrite,
+		MixAppend:   *mixApp,
+		ErrorBudget: *budget,
+		Registry:    reg,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	log.Printf("measured %.1fs: %d ops (%.1f ops/s), read %.1f MB/s, write %.1f MB/s, error rate %.4f",
+		report.Seconds, report.TotalOps, report.OpsPerSec, report.ReadMBps, report.WriteMBps, report.ErrorRate)
+	for _, op := range []string{"open", "read", "write", "append"} {
+		st := report.Ops[op]
+		log.Printf("  %-6s count=%-8d errors=%-4d p50=%.0fµs p99=%.0fµs p999=%.0fµs",
+			op, st.Count, st.Errors, st.P50us, st.P99us, st.P999us)
+	}
+	if *out != "" {
+		if err := report.WriteJSON(*out); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		log.Printf("report written to %s", *out)
+	}
+	if err := report.Check(); err != nil {
+		log.Fatalf("check failed: %v", err)
+	}
+	log.Printf("check passed")
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -80,6 +80,7 @@ commands:
   decommission <addr>      drain a provider's blocks, then retire it
   vm status                show the version manager's WAL (segments, last snapshot)
   vm snapshot              force a WAL snapshot and compact the log
+  top [interval [count]]   poll -metrics endpoints and show cluster-wide rates
 
 flags:
 `)
@@ -102,6 +103,7 @@ func main() {
 		rahead  = flag.Int("readahead", bsfs.DefaultReadaheadBlocks, "reader async prefetch window in blocks (0 = synchronous)")
 		wbehind = flag.Int("write-behind", bsfs.DefaultWriteBehindDepth, "writer background block commits in flight (0 = synchronous)")
 		noCache = flag.Bool("no-cache", false, "disable the BSFS block cache and streaming pipeline (ablation)")
+		metEPs  = flag.String("metrics", "", "comma-separated /metrics endpoints (top command)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -118,6 +120,31 @@ func main() {
 		dataPlane = core.DataPlaneFanout
 	default:
 		fatal(fmt.Errorf("unknown data plane %q (want chained or fanout)", *plane))
+	}
+
+	// top only talks HTTP to /metrics endpoints — no RPC stack needed.
+	if flag.Arg(0) == "top" {
+		args := flag.Args()[1:]
+		interval := 2 * time.Second
+		iters := 0
+		if len(args) > 0 {
+			d, err := time.ParseDuration(args[0])
+			if err != nil {
+				fatal(fmt.Errorf("top: bad interval %q", args[0]))
+			}
+			interval = d
+		}
+		if len(args) > 1 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("top: bad count %q", args[1]))
+			}
+			iters = n
+		}
+		if err := runTop(splitAddrs(*metEPs), interval, iters); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	pool := rpc.NewPool(rpc.TCPDialer)

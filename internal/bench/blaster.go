@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"blobseer/internal/fs"
+	"blobseer/internal/metrics"
+	"blobseer/internal/util"
+)
+
+// The blaster is a closed-loop load generator for a whole deployment:
+// N workers drive a configurable open/read/write/append mix against a
+// file system (a live cluster's BSFS mount, or the HDFS baseline),
+// with an untimed ramp-up, a measured steady-state window, and a
+// BENCH_blaster.json report of sustained throughput, per-op latency
+// percentiles and the error rate against a budget. Every observation
+// flows through internal/metrics, so a -metrics-addr endpoint shows
+// the client side of the run live next to the daemons' own registries.
+
+// Blaster op names, in report order.
+var blasterOps = []string{"open", "read", "write", "append"}
+
+// BlasterConfig parameterizes one load run.
+type BlasterConfig struct {
+	// FS is the target file system (required).
+	FS fs.FileSystem
+	// Workers is the closed-loop worker count (default 4).
+	Workers int
+	// Duration is the measured steady-state window (default 10s).
+	// 0 selects long-run mode: the window lasts until ctx is canceled.
+	Duration time.Duration
+	// Ramp is the untimed warm-up before measurement starts: workers
+	// run the full mix but rates are taken only over the window.
+	Ramp time.Duration
+	// Files is the shared working set size (default 8); opens, reads
+	// and appends spread across it uniformly.
+	Files int
+	// FileSize is each working-set file's initial size (default
+	// 4×IOSize), the range random reads land in.
+	FileSize int64
+	// IOSize is the bytes moved per read/write/append op (default 64 KB).
+	IOSize int
+	// MixOpen/MixRead/MixWrite/MixAppend weight the op mix (default
+	// 10/60/20/10; zero-total falls back to the default mix).
+	MixOpen, MixRead, MixWrite, MixAppend int
+	// ErrorBudget is the highest tolerable failed-op fraction over the
+	// measured window; Check() fails above it (default 0).
+	ErrorBudget float64
+	// Registry receives the blaster's live metrics (per-op latency
+	// histograms, op/error/byte counters). Nil creates a private one.
+	Registry *metrics.Registry
+	// OnError, when non-nil, observes every failed op (diagnostics;
+	// the error is still counted against the budget).
+	OnError func(op string, err error)
+	// Seed fixes the workers' RNG streams (default 1).
+	Seed int64
+}
+
+func (c *BlasterConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Files <= 0 {
+		c.Files = 8
+	}
+	if c.IOSize <= 0 {
+		c.IOSize = 64 * int(util.KB)
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 4 * int64(c.IOSize)
+	}
+	if c.MixOpen+c.MixRead+c.MixWrite+c.MixAppend <= 0 {
+		c.MixOpen, c.MixRead, c.MixWrite, c.MixAppend = 10, 60, 20, 10
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// BlasterOpStats summarizes one op type over the measured window
+// (percentiles cover the whole run including ramp — the mix is
+// identical in both phases, so the contamination is noise-level).
+type BlasterOpStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+}
+
+// BlasterReport is the BENCH_blaster.json document.
+type BlasterReport struct {
+	Workers     int                       `json:"workers"`
+	Seconds     float64                   `json:"seconds"`
+	Ops         map[string]BlasterOpStats `json:"ops"`
+	TotalOps    int64                     `json:"total_ops"`
+	OpsPerSec   float64                   `json:"ops_per_sec"`
+	ReadMBps    float64                   `json:"read_mbps"`
+	WriteMBps   float64                   `json:"write_mbps"`
+	ErrorRate   float64                   `json:"error_rate"`
+	ErrorBudget float64                   `json:"error_budget"`
+}
+
+// Check validates the run: the window must have completed work and the
+// failed-op fraction must stay inside the budget.
+func (r BlasterReport) Check() error {
+	if r.TotalOps <= 0 {
+		return fmt.Errorf("blaster: no operations completed in the measured window")
+	}
+	if r.ErrorRate > r.ErrorBudget {
+		return fmt.Errorf("blaster: error rate %.4f exceeds budget %.4f", r.ErrorRate, r.ErrorBudget)
+	}
+	return nil
+}
+
+// WriteJSON writes the report to path, indented for diffability.
+func (r BlasterReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// blasterMetrics is the pre-resolved instrument set all workers share.
+type blasterMetrics struct {
+	lat     map[string]*metrics.Histogram
+	ops     map[string]*metrics.Counter
+	errs    map[string]*metrics.Counter
+	bytesR  *metrics.Counter
+	bytesW  *metrics.Counter
+	workers *metrics.Gauge
+}
+
+func newBlasterMetrics(reg *metrics.Registry) *blasterMetrics {
+	m := &blasterMetrics{
+		lat:     make(map[string]*metrics.Histogram, len(blasterOps)),
+		ops:     make(map[string]*metrics.Counter, len(blasterOps)),
+		errs:    make(map[string]*metrics.Counter, len(blasterOps)),
+		bytesR:  reg.Counter("bytes_read"),
+		bytesW:  reg.Counter("bytes_written"),
+		workers: reg.Gauge("workers"),
+	}
+	for _, op := range blasterOps {
+		m.lat[op] = reg.Histogram("latency_" + op)
+		m.ops[op] = reg.Counter("ops_" + op)
+		m.errs[op] = reg.Counter("errors_" + op)
+	}
+	return m
+}
+
+// RunBlaster executes one load run: set up the working set, ramp, then
+// measure for cfg.Duration (or until ctx cancels in long-run mode).
+func RunBlaster(ctx context.Context, cfg BlasterConfig) (BlasterReport, error) {
+	cfg.fill()
+	if cfg.FS == nil {
+		return BlasterReport{}, fmt.Errorf("blaster: no file system configured")
+	}
+	fsys := cfg.FS
+	if err := fsys.Mkdirs(ctx, "/blaster"); err != nil {
+		return BlasterReport{}, fmt.Errorf("blaster: mkdirs: %w", err)
+	}
+	// Working set: Files files of FileSize deterministic bytes each, so
+	// reads always land on real data from the first tick.
+	fill := make([]byte, cfg.FileSize)
+	for i := range fill {
+		fill[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.Files; i++ {
+		w, err := fsys.Create(ctx, blasterFile(i), true)
+		if err != nil {
+			return BlasterReport{}, fmt.Errorf("blaster: create working set: %w", err)
+		}
+		if _, err := w.Write(fill); err != nil {
+			w.Close()
+			return BlasterReport{}, fmt.Errorf("blaster: fill working set: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return BlasterReport{}, fmt.Errorf("blaster: fill working set: %w", err)
+		}
+	}
+
+	bm := newBlasterMetrics(cfg.Registry)
+	bm.workers.Set(int64(cfg.Workers))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			blasterWorker(ctx, cfg, bm, id, stop)
+		}(i)
+	}
+
+	// Ramp (untimed), then snapshot-bracket the measured window: rates
+	// come from counter deltas, so the warm-up never inflates them.
+	if cfg.Ramp > 0 {
+		select {
+		case <-time.After(cfg.Ramp):
+		case <-ctx.Done():
+		}
+	}
+	snap0 := cfg.Registry.Snapshot()
+	t0 := time.Now()
+	if cfg.Duration > 0 {
+		select {
+		case <-time.After(cfg.Duration):
+		case <-ctx.Done():
+		}
+	} else {
+		<-ctx.Done() // long-run mode: measure until canceled
+	}
+	elapsed := time.Since(t0).Seconds()
+	snap1 := cfg.Registry.Snapshot()
+	close(stop)
+	wg.Wait()
+	bm.workers.Set(0)
+
+	r := BlasterReport{
+		Workers:     cfg.Workers,
+		Seconds:     elapsed,
+		Ops:         make(map[string]BlasterOpStats, len(blasterOps)),
+		ErrorBudget: cfg.ErrorBudget,
+	}
+	var totalErrs int64
+	for _, op := range blasterOps {
+		h := snap1.Histograms["latency_"+op]
+		st := BlasterOpStats{
+			Count:  snap1.Counters["ops_"+op] - snap0.Counters["ops_"+op],
+			Errors: snap1.Counters["errors_"+op] - snap0.Counters["errors_"+op],
+			P50us:  h.P50 / 1e3,
+			P99us:  h.P99 / 1e3,
+			P999us: h.P999 / 1e3,
+		}
+		r.Ops[op] = st
+		r.TotalOps += st.Count
+		totalErrs += st.Errors
+	}
+	if elapsed > 0 {
+		r.OpsPerSec = float64(r.TotalOps) / elapsed
+		r.ReadMBps = float64(snap1.Counters["bytes_read"]-snap0.Counters["bytes_read"]) / float64(util.MB) / elapsed
+		r.WriteMBps = float64(snap1.Counters["bytes_written"]-snap0.Counters["bytes_written"]) / float64(util.MB) / elapsed
+	}
+	if n := r.TotalOps + totalErrs; n > 0 {
+		r.ErrorRate = float64(totalErrs) / float64(n)
+	}
+	return r, nil
+}
+
+func blasterFile(i int) string { return fmt.Sprintf("/blaster/f%03d", i) }
+
+// blasterWorker loops the weighted op mix until stopped. Ops run on
+// the caller's ctx; shutdown closes stop between ops, so no op is ever
+// canceled mid-flight and counted as a spurious error.
+func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, id int, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	total := cfg.MixOpen + cfg.MixRead + cfg.MixWrite + cfg.MixAppend
+	buf := make([]byte, cfg.IOSize)
+	for i := range buf {
+		buf[i] = byte('A' + (id+i)%26)
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		var op string
+		switch n := rng.Intn(total); {
+		case n < cfg.MixOpen:
+			op = "open"
+		case n < cfg.MixOpen+cfg.MixRead:
+			op = "read"
+		case n < cfg.MixOpen+cfg.MixRead+cfg.MixWrite:
+			op = "write"
+		default:
+			op = "append"
+		}
+		t0 := time.Now()
+		nbytes, err := blasterOp(ctx, cfg, rng, id, op, buf)
+		if err != nil {
+			bm.errs[op].Inc()
+			if cfg.OnError != nil {
+				cfg.OnError(op, err)
+			}
+			continue
+		}
+		bm.lat[op].ObserveSince(t0)
+		bm.ops[op].Inc()
+		switch op {
+		case "read":
+			bm.bytesR.Add(nbytes)
+		case "write", "append":
+			bm.bytesW.Add(nbytes)
+		}
+	}
+}
+
+// blasterOp executes one operation and reports the bytes it moved.
+func blasterOp(ctx context.Context, cfg BlasterConfig, rng *rand.Rand, id int, op string, buf []byte) (int64, error) {
+	fsys := cfg.FS
+	switch op {
+	case "open":
+		r, err := fsys.Open(ctx, blasterFile(rng.Intn(cfg.Files)))
+		if err != nil {
+			return 0, err
+		}
+		return 0, r.Close()
+
+	case "read":
+		r, err := fsys.Open(ctx, blasterFile(rng.Intn(cfg.Files)))
+		if err != nil {
+			return 0, err
+		}
+		defer r.Close()
+		// A random in-range offset; files only grow (appends), so the
+		// initial size is always a safe bound.
+		maxOff := cfg.FileSize - int64(len(buf))
+		if maxOff < 0 {
+			maxOff = 0
+		}
+		off := rng.Int63n(maxOff + 1)
+		if _, err := r.Seek(off, io.SeekStart); err != nil {
+			return 0, err
+		}
+		n, err := io.ReadFull(r, buf)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			err = nil // clamped at a concurrent snapshot boundary
+		}
+		return int64(n), err
+
+	case "write":
+		// Whole-file overwrite on a per-worker target: exercises the
+		// create/publish path without racing other workers' namespaces.
+		w, err := fsys.Create(ctx, fmt.Sprintf("/blaster/w%03d", id), true)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := w.Write(buf); err != nil {
+			w.Close()
+			return 0, err
+		}
+		return int64(len(buf)), w.Close()
+
+	case "append":
+		// Concurrent appends to a shared file — Figure 5's workload.
+		w, err := fsys.Append(ctx, blasterFile(rng.Intn(cfg.Files)))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := w.Write(buf); err != nil {
+			w.Close()
+			return 0, err
+		}
+		return int64(len(buf)), w.Close()
+	}
+	return 0, fmt.Errorf("blaster: unknown op %q", op)
+}

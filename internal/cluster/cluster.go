@@ -17,6 +17,7 @@ import (
 	"blobseer/internal/core"
 	"blobseer/internal/dht"
 	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
 	"blobseer/internal/namespace"
 	"blobseer/internal/placement"
 	"blobseer/internal/pmanager"
@@ -80,6 +81,13 @@ type Config struct {
 	// behavior.
 	CallTimeout time.Duration
 
+	// MetricsAddr, when non-empty, serves the whole deployment's
+	// metrics over HTTP at this address ("127.0.0.1:0" picks a free
+	// port; MetricsURL reports the bound endpoint). Every daemon's
+	// registry is exported under its service name regardless — the
+	// address only controls whether an HTTP listener fronts them.
+	MetricsAddr string
+
 	// StoreURL selects every data provider's block-store backend (see
 	// store.Open): "mem://" (the default when empty), "file:///path",
 	// "http://peer/base", or a composing "tiered://?hot=...&cold=...".
@@ -139,6 +147,10 @@ type BlobSeer struct {
 	metaSvcs   map[string]*dht.MetaService
 
 	repairEng *repair.Engine
+
+	exporter    *metrics.Exporter
+	metricsURL  string
+	stopMetrics func() error
 
 	net       *rpc.InprocNetwork
 	serversMu sync.Mutex
@@ -312,6 +324,32 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	if cfg.RepairInterval > 0 {
 		c.repairEng.Start(cfg.RepairInterval)
 	}
+
+	// Metrics export: every daemon's registry under its service name —
+	// the same layout a multi-machine deployment gets from one
+	// blobseerd -metrics-addr per daemon, collapsed onto one endpoint.
+	c.exporter = metrics.NewExporter()
+	for k, svc := range c.vmSvcs {
+		c.exporter.Register(c.vmName(k), svc.Metrics())
+	}
+	c.exporter.Register("pmanager", c.pmSvc.Metrics())
+	c.exporter.Register("namespace", c.nsSvc.Metrics())
+	for i, addr := range c.ProviderAddrs {
+		c.exporter.Register(fmt.Sprintf("provider-%d", i), c.provSvcs[addr].Metrics())
+	}
+	for i, addr := range c.MetaAddrs {
+		c.exporter.Register(fmt.Sprintf("meta-%d", i), c.metaSvcs[addr].Metrics())
+	}
+	c.exporter.Register("repair", c.repairEng.Metrics())
+	if cfg.MetricsAddr != "" {
+		bound, stop, err := c.exporter.Serve(cfg.MetricsAddr)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: metrics listener: %w", err)
+		}
+		c.metricsURL = "http://" + bound
+		c.stopMetrics = stop
+	}
 	return c, nil
 }
 
@@ -368,6 +406,15 @@ func (c *BlobSeer) KillProvider(addr string) {
 // RepairEngine exposes the deployment's repair plane (tests, tools).
 func (c *BlobSeer) RepairEngine() *repair.Engine { return c.repairEng }
 
+// Exporter exposes the deployment-wide metrics exporter. It is always
+// populated (register extra registries, snapshot in tests); an HTTP
+// listener fronts it only when Config.MetricsAddr was set.
+func (c *BlobSeer) Exporter() *metrics.Exporter { return c.exporter }
+
+// MetricsURL returns the served metrics endpoint ("http://host:port"),
+// or "" when Config.MetricsAddr was empty.
+func (c *BlobSeer) MetricsURL() string { return c.metricsURL }
+
 // HostOf returns the synthetic host name of data provider i.
 func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
 
@@ -385,6 +432,43 @@ func (c *BlobSeer) NewClient(host string) *core.Client {
 		DataPlane:     c.Cfg.DataPlane,
 		FrameSize:     c.Cfg.FrameSize,
 		Overlay:       c.Overlay,
+	})
+}
+
+// NewMeteredClient returns a core client wired to a fresh metrics
+// registry, registered with the deployment exporter under name — so a
+// scrape shows the client side (resolve latency, cache hit rates,
+// stream pipeline gauges) next to every daemon.
+func (c *BlobSeer) NewMeteredClient(host, name string) (*core.Client, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	cl := core.NewClient(core.Config{
+		Pool:          c.Pool,
+		VMAddrs:       c.VMAddrs,
+		PMAddr:        c.PMAddr,
+		MetaStore:     c.MetaStore,
+		Host:          host,
+		MetaCacheSize: c.Cfg.MetaCacheSize,
+		DataPlane:     c.Cfg.DataPlane,
+		FrameSize:     c.Cfg.FrameSize,
+		Overlay:       c.Overlay,
+		Metrics:       reg,
+	})
+	c.exporter.Register(name, reg)
+	return cl, reg
+}
+
+// NewMeteredBSFS returns a BSFS client whose core client exports its
+// metrics through the deployment exporter under name.
+func (c *BlobSeer) NewMeteredBSFS(host, name string) (*bsfs.FS, error) {
+	cl, _ := c.NewMeteredClient(host, name)
+	return bsfs.New(bsfs.Config{
+		Core:             cl,
+		NS:               namespace.NewClient(c.Pool, c.NSAddr),
+		BlockSize:        c.Cfg.BlockSize,
+		Replication:      c.Cfg.Replication,
+		ReadaheadBlocks:  c.Cfg.ReadaheadBlocks,
+		WriteBehindDepth: c.Cfg.WriteBehindDepth,
+		DisableCache:     c.Cfg.DisableCache,
 	})
 }
 
@@ -426,6 +510,10 @@ func (c *BlobSeer) MetaService(addr string) *dht.MetaService { return c.metaSvcs
 
 // Stop shuts every daemon down.
 func (c *BlobSeer) Stop() {
+	if c.stopMetrics != nil {
+		_ = c.stopMetrics()
+		c.stopMetrics = nil
+	}
 	if c.repairEng != nil {
 		c.repairEng.Stop()
 	}

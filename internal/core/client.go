@@ -25,9 +25,11 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
 	"blobseer/internal/rpc"
+	"blobseer/internal/stream"
 	"blobseer/internal/vmanager"
 )
 
@@ -94,6 +96,13 @@ type Config struct {
 	// block's original replicas; nil disables the lookup.
 	Overlay LocationOverlay
 
+	// Metrics, when non-nil, receives the client's observability
+	// surface: a resolve-latency histogram, node-cache and replica
+	// fallback gauges, failure-feedback counters, and the streaming
+	// layer's pipeline gauges. Nil keeps the data path metric-free
+	// (every instrument degrades to a no-op).
+	Metrics *metrics.Registry
+
 	// DisableFailureFeedback stops the client from reporting providers
 	// it could not reach to the provider manager. The feedback loop is
 	// on by default: a MarkDead report pulls a dead provider out of the
@@ -131,6 +140,11 @@ type Client struct {
 
 	chainFallbacks atomic.Uint64 // blocks that fell back to fan-out
 	deadReports    atomic.Uint64 // MarkDead feedback reports sent
+	deadSuppressed atomic.Uint64 // reports dropped by the per-provider rate limit
+
+	reg      *metrics.Registry  // nil unless Config.Metrics was set
+	mResolve *metrics.Histogram // metadata resolve latency per readInto
+	coll     *stream.Collector  // client-wide stream pipeline counters (nil when unmetered)
 
 	mu        sync.Mutex
 	histories map[blob.ID]*blob.History
@@ -157,7 +171,7 @@ const maxSizeCacheEntries = 4096
 // NewClient builds a client from cfg.
 func NewClient(cfg Config) *Client {
 	meta := mdtree.MaybeCache(cfg.MetaStore, cfg.MetaCacheSize)
-	return &Client{
+	c := &Client{
 		vm:         NewVMClient(cfg.Pool, cfg.VMAddr, cfg.VMAddrs),
 		pm:         pmanager.NewClient(cfg.Pool, cfg.PMAddr),
 		prov:       provider.NewClient(cfg.Pool),
@@ -176,7 +190,37 @@ func NewClient(cfg Config) *Client {
 		noChain:    make(map[string]struct{}),
 		reported:   make(map[string]time.Time),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		c.reg = reg
+		c.mResolve = reg.Histogram("resolve_latency")
+		c.coll = &stream.Collector{}
+		reg.GaugeFunc("chain_fallbacks", func() int64 { return int64(c.chainFallbacks.Load()) })
+		reg.GaugeFunc("dead_reports", func() int64 { return int64(c.deadReports.Load()) })
+		reg.GaugeFunc("dead_reports_suppressed", func() int64 { return int64(c.deadSuppressed.Load()) })
+		reg.GaugeFunc("meta_cache_hits", func() int64 { return c.MetaCacheStats().Hits })
+		reg.GaugeFunc("meta_cache_misses", func() int64 { return c.MetaCacheStats().Misses })
+		if f, ok := cfg.MetaStore.(interface{ Fallbacks() int64 }); ok {
+			reg.GaugeFunc("meta_replica_fallbacks", f.Fallbacks)
+		}
+		reg.GaugeFunc("readers_open", c.coll.ReadersOpen)
+		reg.GaugeFunc("writers_open", c.coll.WritersOpen)
+		reg.GaugeFunc("prefetched", c.coll.Prefetched)
+		reg.GaugeFunc("prefetch_hits", c.coll.PrefetchHits)
+		reg.GaugeFunc("prefetch_canceled", c.coll.Canceled)
+		reg.GaugeFunc("write_behind_depth", c.coll.WriteBehindDepth)
+		reg.GaugeFunc("write_behind_commits", c.coll.WriteBehindCommits)
+		reg.GaugeFunc("write_behind_bytes", c.coll.WriteBehindBytes)
+	}
+	return c
 }
+
+// Metrics exposes the registry handed in via Config.Metrics (nil for an
+// unmetered client).
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// StreamCollector returns the client-wide stream pipeline counters, or
+// nil for an unmetered client (stream wiring is nil-safe either way).
+func (c *Client) StreamCollector() *stream.Collector { return c.coll }
 
 // ChainFallbacks reports how many blocks this client pushed through the
 // fan-out fallback because their replica chain failed — the signal that
@@ -186,6 +230,13 @@ func (c *Client) ChainFallbacks() uint64 { return c.chainFallbacks.Load() }
 // DeadReports reports how many MarkDead feedback reports this client
 // has sent to the provider manager (tests, observability).
 func (c *Client) DeadReports() uint64 { return c.deadReports.Load() }
+
+// DeadReportsSuppressed reports how many MarkDead reports the
+// per-provider rate limit swallowed. A high ratio of suppressed to sent
+// reports means the client keeps hitting the same dead providers —
+// stale metadata pointing at a departed node, or a repair plane that
+// cannot keep up.
+func (c *Client) DeadReportsSuppressed() uint64 { return c.deadSuppressed.Load() }
 
 // deadReportTTL rate-limits MarkDead feedback per provider: one report
 // per TTL is plenty — the provider manager needs the bit once, and a
@@ -204,6 +255,7 @@ func (c *Client) reportDead(addr string, err error) {
 	c.mu.Lock()
 	if at, ok := c.reported[addr]; ok && time.Since(at) < deadReportTTL {
 		c.mu.Unlock()
+		c.deadSuppressed.Add(1)
 		return
 	}
 	c.reported[addr] = time.Now()
@@ -657,7 +709,9 @@ func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, leng
 // holding stale bytes). The requested range must lie inside the
 // snapshot.
 func (c *Client) readInto(ctx context.Context, m blob.Meta, v blob.Version, size, off int64, dst []byte) error {
+	t0 := time.Now()
 	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: int64(len(dst))})
+	c.mResolve.ObserveSince(t0)
 	if err != nil {
 		return err
 	}

@@ -138,6 +138,7 @@ func (b *Blob) NewWriter(ctx context.Context, o WriterOptions) *stream.Writer {
 	return stream.NewWriter(ctx, stream.WriterConfig{
 		BlockSize: b.meta.BlockSize,
 		Depth:     o.Depth,
+		Collector: b.c.coll,
 		Start: func(ctx context.Context) (stream.StartState, error) {
 			if !o.Append {
 				return stream.StartState{OffsetMode: true, Off: o.Off}, nil
@@ -268,6 +269,7 @@ func (s *Snapshot) NewReader(ctx context.Context, o ReaderOptions) *stream.Reade
 		BlockSize: s.b.meta.BlockSize,
 		Readahead: o.Readahead,
 		NoCache:   o.NoCache,
+		Collector: s.b.c.coll,
 		Fetch: func(ctx context.Context, off, length int64) ([]byte, error) {
 			buf := make([]byte, length)
 			n, err := s.ReadAtContext(ctx, buf, off)

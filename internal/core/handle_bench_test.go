@@ -10,8 +10,10 @@ import (
 )
 
 // benchSnapshot deploys a small cluster, publishes an nBlocks-block
-// blob and returns a pinned snapshot plus the flat client.
-func benchSnapshot(b *testing.B, nBlocks int) (*core.Client, *core.Snapshot) {
+// blob and returns a pinned snapshot plus the flat client. With
+// metered set the client carries a live metrics registry, so the
+// instrumented hot path is measured instead of the no-op one.
+func benchSnapshot(b *testing.B, nBlocks int, metered bool) (*core.Client, *core.Snapshot) {
 	b.Helper()
 	cl, err := cluster.StartBlobSeer(cluster.Config{
 		DataProviders: 4,
@@ -24,7 +26,12 @@ func benchSnapshot(b *testing.B, nBlocks int) (*core.Client, *core.Snapshot) {
 	}
 	b.Cleanup(cl.Stop)
 	ctx := context.Background()
-	c := cl.NewClient("")
+	var c *core.Client
+	if metered {
+		c, _ = cl.NewMeteredClient("", "bench")
+	} else {
+		c = cl.NewClient("")
+	}
 	bh, err := c.CreateBlob(ctx, B, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -49,8 +56,21 @@ func benchSnapshot(b *testing.B, nBlocks int) (*core.Client, *core.Snapshot) {
 // zero per-call metadata round-trips. Compare allocs/op against
 // BenchmarkFlatRead.
 func BenchmarkSnapshotReadAt(b *testing.B) {
+	benchmarkSnapshotReadAt(b, false)
+}
+
+// BenchmarkSnapshotReadAtMetered is the instrumented twin of
+// BenchmarkSnapshotReadAt: the same workload through a client wired to
+// a live metrics registry, so every read times Resolve and bumps the
+// cache/stream counters. The delta between the two pins the hot-path
+// cost of instrumentation; it must stay in the noise (<5%).
+func BenchmarkSnapshotReadAtMetered(b *testing.B) {
+	benchmarkSnapshotReadAt(b, true)
+}
+
+func benchmarkSnapshotReadAt(b *testing.B, metered bool) {
 	const nBlocks = 8
-	_, s := benchSnapshot(b, nBlocks)
+	_, s := benchSnapshot(b, nBlocks, metered)
 	buf := make([]byte, s.Size())
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -67,7 +87,7 @@ func BenchmarkSnapshotReadAt(b *testing.B) {
 // re-resolves the version on every call.
 func BenchmarkFlatRead(b *testing.B) {
 	const nBlocks = 8
-	c, s := benchSnapshot(b, nBlocks)
+	c, s := benchSnapshot(b, nBlocks, false)
 	ctx := context.Background()
 	id, v, size := s.Blob().ID(), s.Version(), s.Size()
 	b.ReportAllocs()

@@ -120,6 +120,9 @@ func (c *Client) GetBatch(ctx context.Context, keys []string) (map[string][]byte
 			}
 			addr := st.addrs[st.round]
 			st.round++
+			if round > 0 {
+				c.fallbacks.Add(1)
+			}
 			groups[addr] = append(groups[addr], key)
 		}
 		if len(groups) == 0 {

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"blobseer/internal/metrics"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
 	"blobseer/internal/wire"
@@ -35,13 +37,38 @@ var ErrNotFound = rpc.CodedError(CodeNotFound, "dht: key not found")
 // make replication trivial: any replica answer is correct.
 type MetaService struct {
 	store store.Store
+
+	reg       *metrics.Registry
+	mPuts     *metrics.Counter
+	mGets     *metrics.Counter
+	mDeletes  *metrics.Counter
+	mBatchPut *metrics.Histogram // pairs per put-batch RPC
+	mBatchGet *metrics.Histogram // keys per get-batch RPC
+	mBytesIn  *metrics.Counter
+	mBytesOut *metrics.Counter
 }
 
 // NewMetaService returns a metadata provider over st.
-func NewMetaService(st store.Store) *MetaService { return &MetaService{store: st} }
+func NewMetaService(st store.Store) *MetaService {
+	s := &MetaService{store: st, reg: metrics.NewRegistry()}
+	s.mPuts = s.reg.Counter("puts")
+	s.mGets = s.reg.Counter("gets")
+	s.mDeletes = s.reg.Counter("deletes")
+	s.mBatchPut = s.reg.Histogram("put_batch_size")
+	s.mBatchGet = s.reg.Histogram("get_batch_size")
+	s.mBytesIn = s.reg.Counter("bytes_in")
+	s.mBytesOut = s.reg.Counter("bytes_out")
+	s.reg.GaugeFunc("store_items", func() int64 { return st.Stats().Items })
+	s.reg.GaugeFunc("store_bytes", func() int64 { return st.Stats().Bytes })
+	return s
+}
 
 // Store exposes the underlying store (tests, failure injection).
 func (s *MetaService) Store() store.Store { return s.store }
+
+// Metrics exposes the metadata provider's registry (op counts, batch
+// size histograms, store occupancy) for HTTP export.
+func (s *MetaService) Metrics() *metrics.Registry { return s.reg }
 
 // Mux returns the RPC dispatch table.
 func (s *MetaService) Mux() *rpc.Mux {
@@ -62,6 +89,8 @@ func (s *MetaService) handlePut(payload []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	s.mPuts.Inc()
+	s.mBytesIn.Add(int64(len(val)))
 	return nil, s.store.Put(key, val)
 }
 
@@ -78,6 +107,8 @@ func (s *MetaService) handleGet(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mGets.Inc()
+	s.mBytesOut.Add(int64(len(val)))
 	b := wire.NewBuffer(4 + len(val))
 	b.Bytes32(val)
 	return b.Bytes(), nil
@@ -89,6 +120,7 @@ func (s *MetaService) handleDelete(payload []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	s.mDeletes.Inc()
 	return nil, s.store.Delete(key)
 }
 
@@ -109,10 +141,13 @@ func (s *MetaService) handlePutBatch(payload []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	s.mBatchPut.Observe(int64(len(kvs)))
 	for _, kv := range kvs {
 		if err := s.store.Put(kv.Key, kv.Val); err != nil {
 			return nil, err
 		}
+		s.mPuts.Inc()
+		s.mBytesIn.Add(int64(len(kv.Val)))
 	}
 	return nil, nil
 }
@@ -126,6 +161,8 @@ func (s *MetaService) handleGetBatch(payload []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	s.mBatchGet.Observe(int64(len(keys)))
+	s.mGets.Add(int64(len(keys)))
 	b := wire.NewBuffer(16 * len(keys))
 	b.U32(uint32(len(keys)))
 	for _, key := range keys {
@@ -153,6 +190,11 @@ type Client struct {
 	pool     *rpc.Pool
 	replicas int
 	retry    rpc.Backoff
+
+	// fallbacks counts reads that could not be served by the first
+	// replica tried and fell through to a later one (dead or lagging
+	// metadata providers make this grow).
+	fallbacks atomic.Int64
 }
 
 // metaBackoff is the per-replica retry schedule. It is deliberately
@@ -175,6 +217,10 @@ func (c *Client) SetRetry(b rpc.Backoff) { c.retry = b }
 
 // Ring exposes the client's ring (location queries, tests).
 func (c *Client) Ring() *Ring { return c.ring }
+
+// Fallbacks reports how many reads fell through past the first replica
+// (single and batched gets combined).
+func (c *Client) Fallbacks() int64 { return c.fallbacks.Load() }
 
 // callAddr issues one RPC against a specific metadata provider,
 // re-dialing and retrying transport failures per the client schedule.
@@ -255,7 +301,10 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	payload := b.Bytes()
 	var lastErr error
 	notFound := 0
-	for _, addr := range addrs {
+	for i, addr := range addrs {
+		if i > 0 {
+			c.fallbacks.Add(1)
+		}
 		resp, err := c.callAddr(ctx, addr, mMetaGet, payload)
 		if err != nil {
 			if rpc.CodeOf(err) == CodeNotFound {

@@ -155,6 +155,11 @@ type DHTStore struct {
 // NewDHTStore wraps c.
 func NewDHTStore(c *dht.Client) *DHTStore { return &DHTStore{c: c} }
 
+// Fallbacks surfaces the DHT client's replica-fallback count (reads
+// that could not be served by the first replica tried) so client
+// metrics can export it without reaching through the store.
+func (s *DHTStore) Fallbacks() int64 { return s.c.Fallbacks() }
+
 // Put implements Store.
 func (s *DHTStore) Put(ctx context.Context, n Node) error {
 	return s.c.Put(ctx, n.ID.Key(), EncodeNode(n))

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Exporter serves one or more named registries over HTTP. Every daemon
+// role registers the registries of the services it hosts ("vmanager",
+// "provider-0", ...) and mounts the exporter at /metrics; an in-proc
+// cluster registers every service into one exporter so a single scrape
+// shows the whole deployment.
+type Exporter struct {
+	mu   sync.Mutex
+	regs map[string]*Registry
+}
+
+// NewExporter returns an empty exporter.
+func NewExporter() *Exporter {
+	return &Exporter{regs: make(map[string]*Registry)}
+}
+
+// Register adds (or replaces) a named registry. Nil registries are
+// ignored so callers can wire optional metrics unconditionally.
+func (e *Exporter) Register(name string, r *Registry) {
+	if e == nil || r == nil {
+		return
+	}
+	e.mu.Lock()
+	e.regs[name] = r
+	e.mu.Unlock()
+}
+
+// Snapshot captures every registered registry.
+func (e *Exporter) Snapshot() map[string]Snapshot {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	regs := make(map[string]*Registry, len(e.regs))
+	for k, v := range e.regs {
+		regs[k] = v
+	}
+	e.mu.Unlock()
+	out := make(map[string]Snapshot, len(regs))
+	for k, v := range regs {
+		out[k] = v.Snapshot()
+	}
+	return out
+}
+
+// ServeHTTP renders the exporter state: JSON by default,
+// line-oriented text with ?format=text (service.metric value).
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	snap := e.Snapshot()
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, svc := range sortedKeys(snap) {
+			s := snap[svc]
+			for _, k := range sortedKeys(s.Counters) {
+				fmt.Fprintf(w, "%s.%s %d\n", svc, k, s.Counters[k])
+			}
+			for _, k := range sortedKeys(s.Gauges) {
+				fmt.Fprintf(w, "%s.%s %d\n", svc, k, s.Gauges[k])
+			}
+			for _, k := range sortedKeys(s.Histograms) {
+				h := s.Histograms[k]
+				fmt.Fprintf(w, "%s.%s{count} %d\n", svc, k, h.Count)
+				fmt.Fprintf(w, "%s.%s{sum} %d\n", svc, k, h.Sum)
+				fmt.Fprintf(w, "%s.%s{p50} %.0f\n", svc, k, h.P50)
+				fmt.Fprintf(w, "%s.%s{p99} %.0f\n", svc, k, h.P99)
+				fmt.Fprintf(w, "%s.%s{p999} %.0f\n", svc, k, h.P999)
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
+}
+
+// Handler returns an http.Handler with the exporter mounted at
+// /metrics (and at /, so `curl host:port` works too).
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", e)
+	mux.Handle("/", e)
+	return mux
+}
+
+// Serve starts an HTTP listener on addr (":0" picks a free port) and
+// returns the bound address plus a stop function.
+func (e *Exporter) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: e.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// Fetch scrapes a /metrics endpoint (host:port or full URL) and
+// decodes the JSON snapshot — the client side used by `bsfsctl top`
+// and the blaster's live progress line.
+func Fetch(endpoint string) (map[string]Snapshot, error) {
+	url := endpoint
+	if len(url) < 7 || (url[:7] != "http://" && (len(url) < 8 || url[:8] != "https://")) {
+		url = "http://" + url
+	}
+	if len(url) < 8 || url[len(url)-8:] != "/metrics" {
+		url += "/metrics"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s returned %s", url, resp.Status)
+	}
+	var out map[string]Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

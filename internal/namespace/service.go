@@ -2,9 +2,11 @@ package namespace
 
 import (
 	"context"
+	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/fs"
+	"blobseer/internal/metrics"
 	"blobseer/internal/rpc"
 	"blobseer/internal/wire"
 )
@@ -12,24 +14,49 @@ import (
 // Service is the RPC shell around State.
 type Service struct {
 	state *State
+	reg   *metrics.Registry
 }
 
 // NewService wraps state.
-func NewService(state *State) *Service { return &Service{state: state} }
+func NewService(state *State) *Service {
+	return &Service{state: state, reg: metrics.NewRegistry()}
+}
 
 // State exposes the core (tests).
 func (s *Service) State() *State { return s.state }
 
+// Metrics exposes the namespace registry (per-op counts, error
+// counts, latency histograms) for HTTP export.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// timed wraps a handler with a per-op counter, error counter, and
+// latency histogram.
+func (s *Service) timed(name string, fn rpc.HandlerFunc) rpc.HandlerFunc {
+	ops := s.reg.Counter("ops_" + name)
+	errs := s.reg.Counter("errors_" + name)
+	lat := s.reg.Histogram("latency_" + name)
+	return func(p []byte) ([]byte, error) {
+		ops.Inc()
+		t0 := time.Now()
+		resp, err := fn(p)
+		lat.ObserveSince(t0)
+		if err != nil {
+			errs.Inc()
+		}
+		return resp, err
+	}
+}
+
 // Mux returns the RPC dispatch table.
 func (s *Service) Mux() *rpc.Mux {
 	m := rpc.NewMux()
-	m.Handle(mCreateFile, s.handleCreateFile)
-	m.Handle(mGetFile, s.handleGetFile)
-	m.Handle(mMkdirs, s.handleMkdirs)
-	m.Handle(mDelete, s.handleDelete)
-	m.Handle(mRename, s.handleRename)
-	m.Handle(mList, s.handleList)
-	m.Handle(mStatEntry, s.handleStatEntry)
+	m.Handle(mCreateFile, s.timed("create_file", s.handleCreateFile))
+	m.Handle(mGetFile, s.timed("get_file", s.handleGetFile))
+	m.Handle(mMkdirs, s.timed("mkdirs", s.handleMkdirs))
+	m.Handle(mDelete, s.timed("delete", s.handleDelete))
+	m.Handle(mRename, s.timed("rename", s.handleRename))
+	m.Handle(mList, s.timed("list", s.handleList))
+	m.Handle(mStatEntry, s.timed("stat", s.handleStatEntry))
 	return m
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"blobseer/internal/metrics"
 	"blobseer/internal/placement"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
@@ -187,6 +188,39 @@ func (s *State) List() []ProviderInfo {
 	return out
 }
 
+// Membership counts the pool by state: live (alive, not draining),
+// draining, and total registered.
+func (s *State) Membership() (live, draining, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.nodes {
+		switch {
+		case n.Draining:
+			draining++
+		case n.Alive:
+			live++
+		}
+	}
+	return live, draining, len(s.nodes)
+}
+
+// MaxHeartbeatLag returns the longest silence among alive providers —
+// the failure detector's leading indicator (it hits maxAge right
+// before an expiry fires). Zero with no alive providers.
+func (s *State) MaxHeartbeatLag() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Duration
+	for addr, at := range s.lastSeen {
+		if n, ok := s.byAddr[addr]; ok && n.Alive {
+			if lag := time.Since(at); lag > max {
+				max = lag
+			}
+		}
+	}
+	return max
+}
+
 // Layout returns blocks-per-provider counts (Figure 3(b) metric),
 // preferring heartbeat-reported reality over allocation estimates for
 // providers that have reported.
@@ -206,16 +240,39 @@ func (s *State) Layout() []int {
 // ticker that retires silent providers from the allocation pool.
 type Service struct {
 	state *State
+	reg   *metrics.Registry
 
 	expiryMu   sync.Mutex
 	stopExpiry chan struct{}
 }
 
 // NewService wraps state.
-func NewService(state *State) *Service { return &Service{state: state} }
+func NewService(state *State) *Service {
+	s := &Service{state: state, reg: metrics.NewRegistry()}
+	s.reg.GaugeFunc("providers_live", func() int64 {
+		live, _, _ := state.Membership()
+		return int64(live)
+	})
+	s.reg.GaugeFunc("providers_draining", func() int64 {
+		_, draining, _ := state.Membership()
+		return int64(draining)
+	})
+	s.reg.GaugeFunc("providers_total", func() int64 {
+		_, _, total := state.Membership()
+		return int64(total)
+	})
+	s.reg.GaugeFunc("heartbeat_lag_ms", func() int64 {
+		return state.MaxHeartbeatLag().Milliseconds()
+	})
+	return s
+}
 
 // State exposes the core.
 func (s *Service) State() *State { return s.state }
+
+// Metrics exposes the manager's registry (membership gauges, heartbeat
+// lag, allocation counters) for HTTP export.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
 
 // StartExpiry launches the liveness loop: every interval, providers
 // silent for longer than maxAge are marked dead and leave the
@@ -238,7 +295,9 @@ func (s *Service) StartExpiry(maxAge, interval time.Duration) {
 			case <-stop:
 				return
 			case <-t.C:
-				s.state.ExpireStale(maxAge)
+				if n := s.state.ExpireStale(maxAge); n > 0 {
+					s.reg.Counter("expired").Add(int64(n))
+				}
 			}
 		}
 	}()
@@ -274,6 +333,7 @@ func (s *Service) handleRegister(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.state.Register(addr, host)
+	s.reg.Counter("registrations").Inc()
 	return nil, nil
 }
 
@@ -286,6 +346,10 @@ func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	known := s.state.Heartbeat(addr, st)
+	s.reg.Counter("heartbeats").Inc()
+	if !known {
+		s.reg.Counter("heartbeats_unknown").Inc()
+	}
 	b := wire.NewBuffer(1)
 	b.Bool(known)
 	return b.Bytes(), nil
@@ -298,6 +362,7 @@ func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.state.MarkDead(addr)
+	s.reg.Counter("mark_dead").Inc()
 	return nil, nil
 }
 
@@ -308,6 +373,7 @@ func (s *Service) handleDecommission(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.state.Decommission(addr)
+	s.reg.Counter("decommissions").Inc()
 	return nil, nil
 }
 
@@ -320,7 +386,10 @@ func (s *Service) handleAllocate(p []byte) ([]byte, error) {
 		return nil, err
 	}
 	targets, err := s.state.Allocate(nBlocks, replicas, clientHost)
+	s.reg.Counter("allocations").Inc()
+	s.reg.Counter("blocks_allocated").Add(int64(nBlocks))
 	if err != nil {
+		s.reg.Counter("allocation_errors").Inc()
 		if errors.Is(err, placement.ErrNoProviders) {
 			return nil, rpc.CodedError(CodeNoProviders, err.Error())
 		}

@@ -9,6 +9,7 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
 	"blobseer/internal/pmanager"
 	"blobseer/internal/provider"
 	"blobseer/internal/vmanager"
@@ -41,6 +42,7 @@ type Config struct {
 // blocks twice.
 type Engine struct {
 	cfg Config
+	reg *metrics.Registry
 
 	runMu sync.Mutex // serializes RunOnce/Decommission
 
@@ -61,8 +63,21 @@ func New(cfg Config) *Engine {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = DefaultBackoff
 	}
-	return &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, reg: metrics.NewRegistry()}
+	lastGauge := func(pick func(Report) int64) func() int64 {
+		return func() int64 { return pick(e.LastReport()) }
+	}
+	e.reg.GaugeFunc("backlog", lastGauge(func(r Report) int64 { return int64(r.UnderReplicated) }))
+	e.reg.GaugeFunc("blocks_scanned", lastGauge(func(r Report) int64 { return int64(r.Blocks) }))
+	e.reg.GaugeFunc("lost_blocks", lastGauge(func(r Report) int64 { return int64(r.Lost) }))
+	e.reg.GaugeFunc("failed_blocks", lastGauge(func(r Report) int64 { return int64(r.Failed) }))
+	e.reg.GaugeFunc("copies_total", e.Copies)
+	return e
 }
+
+// Metrics exposes the repair registry (backlog depth, cumulative
+// re-replications, retry counts) for HTTP export.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Task is one under-replicated block the scanner found.
 type Task struct {
@@ -337,6 +352,8 @@ func (e *Engine) RunOnce(ctx context.Context) (Report, error) {
 	e.last = rep
 	e.copies += int64(rep.Copies)
 	e.mu.Unlock()
+	e.reg.Counter("passes").Inc()
+	e.reg.Counter("re_replications").Add(int64(rep.Copies))
 	if rep.Failed > 0 {
 		return rep, fmt.Errorf("repair: %d of %d under-replicated blocks not repaired", rep.Failed, rep.UnderReplicated)
 	}
@@ -381,6 +398,7 @@ func (e *Engine) repairBlock(ctx context.Context, t Task, targets []string) (int
 	var lastErr error
 	for attempt := 0; attempt < e.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			e.reg.Counter("retries").Inc()
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():

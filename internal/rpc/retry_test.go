@@ -271,6 +271,73 @@ func TestRetryRespectsContext(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffSchedule pins the retry cadence: each inter-attempt
+// gap is the exponential step with half-range jitter — uniform in
+// [d/2, d] where d doubles from Base and is capped at Max. The lower
+// bounds are hard (sleeping less would thundering-herd a restarted
+// service); the upper bounds get scheduling slack.
+func TestRetryBackoffSchedule(t *testing.T) {
+	const (
+		base  = 40 * time.Millisecond
+		max   = 80 * time.Millisecond
+		slack = 150 * time.Millisecond // goroutine scheduling latency
+	)
+	var stamps []time.Time
+	err := Retry(context.Background(), Backoff{Attempts: 4, Base: base, Max: max}, func(ctx context.Context) error {
+		stamps = append(stamps, time.Now())
+		return ErrConnBroken
+	})
+	if !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("Retry = %v", err)
+	}
+	if len(stamps) != 4 {
+		t.Fatalf("fn called %d times, want 4", len(stamps))
+	}
+	// Delay before retry i: d doubles 40ms -> 80ms -> (capped) 80ms,
+	// and the jitter draws uniformly from [d/2, d].
+	wantMin := []time.Duration{base / 2, max / 2, max / 2}
+	wantMax := []time.Duration{base, max, max}
+	for i := 1; i < len(stamps); i++ {
+		gap := stamps[i].Sub(stamps[i-1])
+		if gap < wantMin[i-1] {
+			t.Errorf("gap %d = %v, below jitter floor %v", i, gap, wantMin[i-1])
+		}
+		if gap > wantMax[i-1]+slack {
+			t.Errorf("gap %d = %v, above jittered delay %v (+%v slack)", i, gap, wantMax[i-1], slack)
+		}
+	}
+}
+
+// TestRetryJitterSpreads: the whole point of jitter is decorrelating
+// clients, so repeated schedules must not all land on the same delay.
+// With uniform draws from [d/2, d] (a 20ms span here), 12 runs
+// producing identical first gaps to within a millisecond would mean
+// the jitter term is gone.
+func TestRetryJitterSpreads(t *testing.T) {
+	const base = 40 * time.Millisecond
+	var gaps []time.Duration
+	for run := 0; run < 12; run++ {
+		var stamps []time.Time
+		Retry(context.Background(), Backoff{Attempts: 2, Base: base}, func(ctx context.Context) error {
+			stamps = append(stamps, time.Now())
+			return ErrConnBroken
+		})
+		gaps = append(gaps, stamps[1].Sub(stamps[0]))
+	}
+	lo, hi := gaps[0], gaps[0]
+	for _, g := range gaps[1:] {
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if hi-lo < time.Millisecond {
+		t.Errorf("12 first-retry gaps all within %v of each other (lo=%v hi=%v); jitter is not spreading", hi-lo, lo, hi)
+	}
+}
+
 func TestRetryZeroValueSingleAttempt(t *testing.T) {
 	var calls atomic.Int32
 	err := Retry(context.Background(), Backoff{}, func(ctx context.Context) error {

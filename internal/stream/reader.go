@@ -30,6 +30,9 @@ type ReaderConfig struct {
 	// every Read fetches exactly the range it still needs (ablation
 	// benches; the simulator models per-request costs).
 	NoCache bool
+	// Collector, when non-nil, aggregates this reader's pipeline
+	// activity into shared client-wide metrics.
+	Collector *Collector
 }
 
 // ReadStats counts the reader-side pipeline activity (tests, tuning).
@@ -70,6 +73,7 @@ type Reader struct {
 	nextSeq int64                // block start that would continue the sequential run (-1 = none)
 	window  map[int64]*blockLoad // block start -> in-flight or completed background fetch
 	stats   ReadStats
+	coll    *Collector
 }
 
 var (
@@ -93,6 +97,7 @@ func NewReader(ctx context.Context, cfg ReaderConfig) *Reader {
 	if readahead < 0 || cfg.NoCache {
 		readahead = 0
 	}
+	cfg.Collector.readerOpened()
 	return &Reader{
 		ctx:       ctx,
 		fetch:     cfg.Fetch,
@@ -103,6 +108,7 @@ func NewReader(ctx context.Context, cfg ReaderConfig) *Reader {
 		cacheOff:  -1,
 		nextSeq:   -1,
 		window:    make(map[int64]*blockLoad),
+		coll:      cfg.Collector,
 	}
 }
 
@@ -200,6 +206,7 @@ func (r *Reader) lockedLoadPipelined(off, blockStart, length int64) error {
 		r.window[blockStart] = f
 	} else {
 		r.stats.PrefetchHits++
+		r.coll.prefetchHit()
 	}
 
 	// Sequential-access detection: the run continues (or starts at the
@@ -213,6 +220,7 @@ func (r *Reader) lockedLoadPipelined(off, blockStart, length int64) error {
 			ln := min(r.blockSize, r.size-next)
 			r.window[next] = r.startFetch(next, ln)
 			r.stats.Prefetched++
+			r.coll.prefetchStart()
 		}
 	}
 	r.nextSeq = blockStart + r.blockSize
@@ -271,6 +279,7 @@ func (r *Reader) lockedCancelWindow() {
 		f.cancel()
 		delete(r.window, start)
 		r.stats.Canceled++
+		r.coll.prefetchDrop()
 	}
 	r.nextSeq = -1
 }
@@ -283,6 +292,7 @@ func (r *Reader) lockedPruneBehind(blockStart int64) {
 			f.cancel()
 			delete(r.window, start)
 			r.stats.Canceled++
+			r.coll.prefetchDrop()
 		}
 	}
 }
@@ -334,6 +344,9 @@ func (r *Reader) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lockedCancelWindow()
+	if !r.closed {
+		r.coll.readerClosed()
+	}
 	r.closed = true
 	r.cache = nil
 	return nil

@@ -38,6 +38,9 @@ type WriterConfig struct {
 	// Append commits data through the storage layer's native append
 	// (required unless Start always selects offset mode).
 	Append func(ctx context.Context, data []byte) error
+	// Collector, when non-nil, aggregates this writer's write-behind
+	// activity into shared client-wide metrics.
+	Collector *Collector
 }
 
 // Writer is a sequential writer with write-behind buffering: data is
@@ -87,6 +90,7 @@ func NewWriter(ctx context.Context, cfg WriterConfig) *Writer {
 	if depth < 0 {
 		depth = 0
 	}
+	cfg.Collector.writerOpened()
 	return &Writer{
 		ctx:       ctx,
 		cfg:       cfg,
@@ -237,6 +241,7 @@ func (w *Writer) lockedEnqueueFull() error {
 			w.written += w.blockSize
 		}
 		w.lockedEnsureWorkers()
+		w.cfg.Collector.commitQueued()
 		w.queue <- blk
 	}
 	return nil
@@ -270,6 +275,7 @@ func (w *Writer) commitLoop() {
 	defer w.wg.Done()
 	for blk := range w.queue {
 		if w.asyncErr() != nil {
+			w.cfg.Collector.commitDone(0)
 			continue
 		}
 		var err error
@@ -281,6 +287,7 @@ func (w *Writer) commitLoop() {
 		if err != nil {
 			w.setAsyncErr(err)
 		}
+		w.cfg.Collector.commitDone(int64(len(blk.data)))
 	}
 }
 
@@ -303,12 +310,14 @@ func (w *Writer) Close() error {
 	if err := w.asyncErr(); err != nil {
 		w.closed = true
 		w.closeErr = err
+		w.cfg.Collector.writerClosed()
 		return err
 	}
 	if err := w.lockedFlush(true); err != nil {
 		return err
 	}
 	w.closed = true
+	w.cfg.Collector.writerClosed()
 	return nil
 }
 

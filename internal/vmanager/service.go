@@ -8,6 +8,7 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/mdtree"
+	"blobseer/internal/metrics"
 	"blobseer/internal/rpc"
 	"blobseer/internal/wal"
 	"blobseer/internal/wire"
@@ -153,19 +154,63 @@ func (o OpCounts) Total() int64 {
 		o.WALStatus + o.Snapshot
 }
 
+// opNames maps RPC method numbers to metric-name suffixes.
+var opNames = [mForceSnapshot]string{
+	"create", "get_meta", "assign", "commit", "abort", "latest",
+	"version_info", "history", "wait", "list", "prune", "pruned_below",
+	"wal_status", "force_snapshot",
+}
+
 // Service is the RPC shell around State, plus the dead-writer janitor.
 type Service struct {
 	state *State
 	calls atomic.Int64
 	ops   [mForceSnapshot]atomic.Int64 // indexed by RPC method - 1
 
+	reg       *metrics.Registry
+	opLatency [mForceSnapshot]*metrics.Histogram
+
 	stopJanitor chan struct{}
 }
 
 // NewService wraps state.
 func NewService(state *State) *Service {
-	return &Service{state: state, stopJanitor: make(chan struct{})}
+	s := &Service{state: state, stopJanitor: make(chan struct{})}
+	s.reg = metrics.NewRegistry()
+	for m := uint16(1); m <= mForceSnapshot; m++ {
+		s.opLatency[m-1] = s.reg.Histogram("latency_" + opNames[m-1])
+	}
+	s.reg.GaugeFunc("rpc_calls", s.calls.Load)
+	// WAL shape gauges: evaluated only at scrape time. A manager running
+	// without a WAL reports zeros.
+	walGauge := func(pick func(wal.Status) int64) func() int64 {
+		return func() int64 {
+			st, err := state.WALStatus()
+			if err != nil {
+				return 0
+			}
+			return pick(st)
+		}
+	}
+	s.reg.GaugeFunc("wal_segments", walGauge(func(st wal.Status) int64 { return int64(st.Segments) }))
+	s.reg.GaugeFunc("wal_log_bytes", walGauge(func(st wal.Status) int64 { return st.LogBytes }))
+	s.reg.GaugeFunc("wal_records", walGauge(func(st wal.Status) int64 { return int64(st.Records) }))
+	s.reg.GaugeFunc("wal_syncs", walGauge(func(st wal.Status) int64 { return int64(st.Syncs) }))
+	s.reg.GaugeFunc("wal_last_sync_age_ms", walGauge(func(st wal.Status) int64 {
+		if st.LastSyncUnix == 0 {
+			return 0
+		}
+		return time.Now().UnixMilli() - st.LastSyncUnix*1000
+	}))
+	s.reg.GaugeFunc("wal_unsnapshotted", walGauge(func(st wal.Status) int64 {
+		return int64(st.LastSeq - st.SnapshotSeq)
+	}))
+	return s
 }
+
+// Metrics exposes the shard's registry (per-op latency histograms,
+// dispatch counts, WAL group-commit gauges) for HTTP export.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
 
 // State exposes the core (simulator, tests).
 func (s *Service) State() *State { return s.state }
@@ -196,12 +241,17 @@ func (s *Service) Ops() OpCounts {
 	}
 }
 
-// counted wraps a handler with the total and per-op dispatch counters.
+// counted wraps a handler with the total and per-op dispatch counters
+// plus the per-op latency histogram.
 func (s *Service) counted(m uint16, fn rpc.HandlerFunc) rpc.HandlerFunc {
+	h := s.opLatency[m-1]
 	return func(p []byte) ([]byte, error) {
 		s.calls.Add(1)
 		s.ops[m-1].Add(1)
-		return fn(p)
+		t0 := time.Now()
+		resp, err := fn(p)
+		h.ObserveSince(t0)
+		return resp, err
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/url"
 	"os"
 	"os/signal"
@@ -70,6 +71,7 @@ import (
 	"blobseer/internal/repair"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
+	"blobseer/internal/trace"
 	"blobseer/internal/util"
 	"blobseer/internal/vmanager"
 	"blobseer/internal/wal"
@@ -102,7 +104,10 @@ func main() {
 		expire   = flag.Duration("expire-after", 0, "pmanager: mark providers silent this long dead (0 disables the liveness loop)")
 		repEvery = flag.Duration("repair-interval", 30*time.Second, "repair: scan-and-repair period")
 		repConc  = flag.Int("repair-concurrency", 0, "repair: parallel block repairs (0 = default)")
-		metAddr  = flag.String("metrics-addr", "", "HTTP address serving this daemon's /metrics (\"127.0.0.1:0\" picks a port; empty disables)")
+		metAddr  = flag.String("metrics-addr", "", "HTTP address serving this daemon's /metrics and /trace (\"127.0.0.1:0\" picks a port; empty disables)")
+		trSample = flag.Float64("trace-sample", 0, "probability [0,1] that a request with no inbound trace context starts a sampled trace")
+		trSlow   = flag.Duration("trace-slow", 0, "force-sample any root operation slower than this (0 disables slow-root capture)")
+		trBuf    = flag.Int("trace-buf", 0, "per-daemon span ring capacity (0 = default)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -155,20 +160,31 @@ func main() {
 		}
 		return log_
 	}
-	// serveMetrics exports one service registry over HTTP when
-	// -metrics-addr is set; it returns the listener's stop function
-	// (nil when metrics are off or the role has no registry).
+	// tracer is this daemon's span recorder. Rate 0 (the default)
+	// records only requests that arrive already carrying a sampled
+	// trace context, so an untraced deployment pays the no-op path.
+	tracer := trace.New(*role, *trBuf)
+	tracer.SetSampling(*trSample, *trSlow)
+	traceExp := trace.NewExporter()
+	traceExp.Register(tracer)
+	// serveMetrics exports one service registry (and the daemon's trace
+	// buffer at /trace) over HTTP when -metrics-addr is set; it returns
+	// the listener's stop function (nil when the listener is off).
 	serveMetrics := func(name string, reg *metrics.Registry) func() error {
-		if *metAddr == "" || reg == nil {
+		if *metAddr == "" {
 			return nil
 		}
 		exp := metrics.NewExporter()
-		exp.Register(name, reg)
-		bound, stop, err := exp.Serve(*metAddr)
+		exp.Register(name, reg) // nil registries are ignored
+		hmux := http.NewServeMux()
+		hmux.Handle("/metrics", exp)
+		hmux.Handle("/", exp)
+		hmux.Handle("/trace", traceExp)
+		bound, stop, err := metrics.ServeHandler(*metAddr, hmux)
 		if err != nil {
 			log.Fatalf("metrics listener on %s: %v", *metAddr, err)
 		}
-		log.Printf("metrics on http://%s/metrics", bound)
+		log.Printf("metrics on http://%s/metrics (traces at /trace)", bound)
 		return stop
 	}
 	newStrategy := func() placement.Strategy {
@@ -226,13 +242,15 @@ func main() {
 		mux     *rpc.Mux
 		cleanup func()
 		provSvc *provider.Service
-		mreg    *metrics.Registry // the role's registry for -metrics-addr
+		mreg    *metrics.Registry   // the role's registry for -metrics-addr
+		opName  func(uint16) string // method-id -> span op name for this role
 	)
 	switch *role {
 	case "meta":
 		svc := dht.NewMetaService(newStore())
 		mreg = svc.Metrics()
 		mux = svc.Mux()
+		opName = dht.MethodName
 
 	case "vmanager":
 		var repair vmanager.Repairer
@@ -280,6 +298,7 @@ func main() {
 		}
 		mreg = svc.Metrics()
 		mux = svc.Mux()
+		opName = vmanager.MethodName
 
 	case "pmanager":
 		svc := pmanager.NewService(pmanager.NewState(newStrategy()))
@@ -289,6 +308,7 @@ func main() {
 		}
 		mreg = svc.Metrics()
 		mux = svc.Mux()
+		opName = pmanager.MethodName
 
 	case "namespace":
 		if *vmAddr == "" {
@@ -315,6 +335,7 @@ func main() {
 		nsSvc := namespace.NewService(state)
 		mreg = nsSvc.Metrics()
 		mux = nsSvc.Mux()
+		opName = namespace.MethodName
 
 	case "provider":
 		// Providers forward chain frames to downstream replicas over
@@ -322,11 +343,13 @@ func main() {
 		provSvc = provider.NewService(newStore(), provider.WithForwarder(rpc.NewPool(rpc.TCPDialer)))
 		mreg = provSvc.Metrics()
 		mux = provSvc.Mux()
+		opName = provider.MethodName
 
 	case "datanode":
 		dnSvc := provider.NewService(newStore())
 		mreg = dnSvc.Metrics()
 		mux = dnSvc.Mux()
+		opName = provider.MethodName
 
 	case "namenode":
 		mux = hdfs.NewService(hdfs.NewNamenode(*blockSz, newStrategy())).Mux()
@@ -341,6 +364,7 @@ func main() {
 	}
 	addr := lis.Addr().String()
 	srv := rpc.NewServer(mux)
+	srv.SetTrace(tracer, opName)
 	go func() {
 		if err := srv.Serve(lis); err != nil {
 			log.Printf("serve: %v", err)

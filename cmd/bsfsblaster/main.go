@@ -58,6 +58,10 @@ func main() {
 		mixWrite = flag.Int("writes", 20, "mix weight: whole-file writes")
 		mixApp   = flag.Int("appends", 10, "mix weight: shared-file appends")
 		budget   = flag.Float64("error-budget", 0.01, "highest tolerable failed-op fraction (concurrent unaligned appends can conflict by design)")
+		rate     = flag.Float64("rate", 0, "paced open-loop target in ops/s across all workers; latency is then also measured from each op's intended start (0 = closed loop)")
+		trEvery  = flag.Int("trace-every", 0, "tag every Nth op with a distributed trace and report the IDs (0 disables)")
+		trSample = flag.Float64("trace-sample", 0, "sim: head-sampling rate for the embedded cluster's client tracer")
+		trSlow   = flag.Duration("trace-slow", 0, "sim: trace everything and index roots slower than this (0 disables)")
 		rahead   = flag.Int("readahead", 2, "sequential-read prefetch window in blocks (0 = synchronous)")
 		wbehind  = flag.Int("write-behind", 2, "async commit window in blocks (0 = synchronous)")
 		out      = flag.String("out", "BENCH_blaster.json", "report path (empty disables)")
@@ -102,6 +106,8 @@ func main() {
 			BlockSize:     *blockSz,
 			Replication:   *repl,
 			MetricsAddr:   *metAddr,
+			TraceSample:   *trSample,
+			TraceSlow:     *trSlow,
 		})
 		if err != nil {
 			log.Fatalf("start cluster: %v", err)
@@ -169,8 +175,19 @@ func main() {
 	if *duration == 0 {
 		mode = "long-run (until signal)"
 	}
-	log.Printf("blasting: %d workers, mix open/read/write/append = %d/%d/%d/%d, %s",
-		*workers, *mixOpen, *mixRead, *mixWrite, *mixApp, mode)
+	loop := "closed loop"
+	if *rate > 0 {
+		loop = fmt.Sprintf("open loop @ %.0f ops/s", *rate)
+	}
+	log.Printf("blasting: %d workers (%s), mix open/read/write/append = %d/%d/%d/%d, %s",
+		*workers, loop, *mixOpen, *mixRead, *mixWrite, *mixApp, mode)
+	var traceHook func(context.Context) (context.Context, string)
+	if *trEvery > 0 {
+		traceHook = func(ctx context.Context) (context.Context, string) {
+			tctx, id := core.WithTrace(ctx)
+			return tctx, id.String()
+		}
+	}
 	report, err := bench.RunBlaster(ctx, bench.BlasterConfig{
 		FS:          fsys,
 		Workers:     *workers,
@@ -183,8 +200,11 @@ func main() {
 		MixRead:     *mixRead,
 		MixWrite:    *mixWrite,
 		MixAppend:   *mixApp,
+		Rate:        *rate,
 		ErrorBudget: *budget,
 		Registry:    reg,
+		Trace:       traceHook,
+		TraceEvery:  *trEvery,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -197,6 +217,13 @@ func main() {
 		st := report.Ops[op]
 		log.Printf("  %-6s count=%-8d errors=%-4d p50=%.0fµs p99=%.0fµs p999=%.0fµs",
 			op, st.Count, st.Errors, st.P50us, st.P99us, st.P999us)
+		if cs, ok := report.Corrected[op]; ok {
+			log.Printf("  %-6s   corrected (from intended start): p50=%.0fµs p99=%.0fµs p999=%.0fµs",
+				"", cs.P50us, cs.P99us, cs.P999us)
+		}
+	}
+	for _, id := range report.TraceIDs {
+		log.Printf("  traced op: %s (bsfsctl -metrics <addr> trace %s)", id, id)
 	}
 	if *out != "" {
 		if err := report.WriteJSON(*out); err != nil {

@@ -81,6 +81,8 @@ commands:
   vm status                show the version manager's WAL (segments, last snapshot)
   vm snapshot              force a WAL snapshot and compact the log
   top [interval [count]]   poll -metrics endpoints and show cluster-wide rates
+  trace <trace-id>         stitch a distributed trace from every -metrics endpoint
+  trace slow               list slow-sampled root operations across endpoints
 
 flags:
 `)
@@ -142,6 +144,14 @@ func main() {
 			iters = n
 		}
 		if err := runTop(splitAddrs(*metEPs), interval, iters); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// trace only talks HTTP to /trace endpoints — no RPC stack needed.
+	if flag.Arg(0) == "trace" {
+		if err := runTrace(splitAddrs(*metEPs), flag.Args()[1:]); err != nil {
 			fatal(err)
 		}
 		return

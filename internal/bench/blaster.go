@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/fs"
@@ -50,6 +51,15 @@ type BlasterConfig struct {
 	// MixOpen/MixRead/MixWrite/MixAppend weight the op mix (default
 	// 10/60/20/10; zero-total falls back to the default mix).
 	MixOpen, MixRead, MixWrite, MixAppend int
+	// Rate, when positive, switches the blaster from closed-loop to
+	// paced open-loop mode: operations are issued against a global
+	// schedule of Rate ops/s regardless of how fast the system answers.
+	// Each op's corrected latency is measured from its *intended* start
+	// time, so queueing delay from a stalled system is charged to the
+	// ops that waited — the coordinated-omission correction a
+	// closed-loop harness silently forgoes. The report then carries
+	// both corrected and service-time percentiles.
+	Rate float64
 	// ErrorBudget is the highest tolerable failed-op fraction over the
 	// measured window; Check() fails above it (default 0).
 	ErrorBudget float64
@@ -59,6 +69,13 @@ type BlasterConfig struct {
 	// OnError, when non-nil, observes every failed op (diagnostics;
 	// the error is still counted against the budget).
 	OnError func(op string, err error)
+	// Trace, when non-nil and TraceEvery > 0, wraps every TraceEvery-th
+	// op's context (e.g. with core.WithTrace) and returns the trace ID
+	// it started; the first few IDs land in the report so a run can be
+	// cross-examined with `bsfsctl trace`. The hook shape keeps bench
+	// free of a client-stack dependency.
+	Trace      func(ctx context.Context) (context.Context, string)
+	TraceEvery int
 	// Seed fixes the workers' RNG streams (default 1).
 	Seed int64
 }
@@ -100,13 +117,21 @@ type BlasterOpStats struct {
 
 // BlasterReport is the BENCH_blaster.json document.
 type BlasterReport struct {
-	Workers     int                       `json:"workers"`
-	Seconds     float64                   `json:"seconds"`
-	Ops         map[string]BlasterOpStats `json:"ops"`
-	TotalOps    int64                     `json:"total_ops"`
-	OpsPerSec   float64                   `json:"ops_per_sec"`
-	ReadMBps    float64                   `json:"read_mbps"`
-	WriteMBps   float64                   `json:"write_mbps"`
+	Workers   int                       `json:"workers"`
+	Seconds   float64                   `json:"seconds"`
+	Ops       map[string]BlasterOpStats `json:"ops"`
+	TotalOps  int64                     `json:"total_ops"`
+	OpsPerSec float64                   `json:"ops_per_sec"`
+	ReadMBps  float64                   `json:"read_mbps"`
+	WriteMBps float64                   `json:"write_mbps"`
+	// TargetRate and Corrected are present only in paced open-loop
+	// runs: Corrected repeats the per-op percentiles measured from each
+	// op's intended start time, so a stalled system's queueing delay is
+	// visible instead of silently omitted. Ops keeps the service-time
+	// view (measured from actual start) in both modes.
+	TargetRate  float64                   `json:"target_rate,omitempty"`
+	Corrected   map[string]BlasterOpStats `json:"corrected,omitempty"`
+	TraceIDs    []string                  `json:"trace_ids,omitempty"`
 	ErrorRate   float64                   `json:"error_rate"`
 	ErrorBudget float64                   `json:"error_budget"`
 }
@@ -135,6 +160,7 @@ func (r BlasterReport) WriteJSON(path string) error {
 // blasterMetrics is the pre-resolved instrument set all workers share.
 type blasterMetrics struct {
 	lat     map[string]*metrics.Histogram
+	corr    map[string]*metrics.Histogram // paced mode only: intended-start latency
 	ops     map[string]*metrics.Counter
 	errs    map[string]*metrics.Counter
 	bytesR  *metrics.Counter
@@ -142,7 +168,7 @@ type blasterMetrics struct {
 	workers *metrics.Gauge
 }
 
-func newBlasterMetrics(reg *metrics.Registry) *blasterMetrics {
+func newBlasterMetrics(reg *metrics.Registry, paced bool) *blasterMetrics {
 	m := &blasterMetrics{
 		lat:     make(map[string]*metrics.Histogram, len(blasterOps)),
 		ops:     make(map[string]*metrics.Counter, len(blasterOps)),
@@ -156,7 +182,64 @@ func newBlasterMetrics(reg *metrics.Registry) *blasterMetrics {
 		m.ops[op] = reg.Counter("ops_" + op)
 		m.errs[op] = reg.Counter("errors_" + op)
 	}
+	if paced {
+		m.corr = make(map[string]*metrics.Histogram, len(blasterOps))
+		for _, op := range blasterOps {
+			m.corr[op] = reg.Histogram("corrected_" + op)
+		}
+	}
 	return m
+}
+
+// pacer hands out the open-loop schedule: ticket i's intended start is
+// t0 + i/rate, shared across every worker through one atomic counter.
+// A worker that falls behind its ticket runs it immediately — the
+// op is late, and the corrected histogram charges it the full delay.
+type pacer struct {
+	start time.Time
+	rate  float64
+	next  atomic.Int64
+}
+
+func (p *pacer) intended() time.Time {
+	i := p.next.Add(1) - 1
+	return p.start.Add(time.Duration(float64(i) / p.rate * float64(time.Second)))
+}
+
+// traceTag tags every Nth op with a fresh trace and retains the first
+// few IDs for the report.
+type traceTag struct {
+	hook  func(ctx context.Context) (context.Context, string)
+	every int64
+	n     atomic.Int64
+
+	mu  sync.Mutex
+	ids []string
+}
+
+func (t *traceTag) wrap(ctx context.Context) context.Context {
+	if t == nil || t.hook == nil || t.every <= 0 {
+		return ctx
+	}
+	if t.n.Add(1)%t.every != 1 && t.every != 1 {
+		return ctx
+	}
+	ctx, id := t.hook(ctx)
+	t.mu.Lock()
+	if len(t.ids) < 16 {
+		t.ids = append(t.ids, id)
+	}
+	t.mu.Unlock()
+	return ctx
+}
+
+func (t *traceTag) traced() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.ids...)
 }
 
 // RunBlaster executes one load run: set up the working set, ramp, then
@@ -190,15 +273,20 @@ func RunBlaster(ctx context.Context, cfg BlasterConfig) (BlasterReport, error) {
 		}
 	}
 
-	bm := newBlasterMetrics(cfg.Registry)
+	bm := newBlasterMetrics(cfg.Registry, cfg.Rate > 0)
 	bm.workers.Set(int64(cfg.Workers))
+	var pace *pacer
+	if cfg.Rate > 0 {
+		pace = &pacer{start: time.Now(), rate: cfg.Rate}
+	}
+	tags := &traceTag{hook: cfg.Trace, every: int64(cfg.TraceEvery)}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			blasterWorker(ctx, cfg, bm, id, stop)
+			blasterWorker(ctx, cfg, bm, id, stop, pace, tags)
 		}(i)
 	}
 
@@ -246,6 +334,21 @@ func RunBlaster(ctx context.Context, cfg BlasterConfig) (BlasterReport, error) {
 		r.TotalOps += st.Count
 		totalErrs += st.Errors
 	}
+	if cfg.Rate > 0 {
+		r.TargetRate = cfg.Rate
+		r.Corrected = make(map[string]BlasterOpStats, len(blasterOps))
+		for _, op := range blasterOps {
+			h := snap1.Histograms["corrected_"+op]
+			r.Corrected[op] = BlasterOpStats{
+				Count:  r.Ops[op].Count,
+				Errors: r.Ops[op].Errors,
+				P50us:  h.P50 / 1e3,
+				P99us:  h.P99 / 1e3,
+				P999us: h.P999 / 1e3,
+			}
+		}
+	}
+	r.TraceIDs = tags.traced()
 	if elapsed > 0 {
 		r.OpsPerSec = float64(r.TotalOps) / elapsed
 		r.ReadMBps = float64(snap1.Counters["bytes_read"]-snap0.Counters["bytes_read"]) / float64(util.MB) / elapsed
@@ -261,8 +364,11 @@ func blasterFile(i int) string { return fmt.Sprintf("/blaster/f%03d", i) }
 
 // blasterWorker loops the weighted op mix until stopped. Ops run on
 // the caller's ctx; shutdown closes stop between ops, so no op is ever
-// canceled mid-flight and counted as a spurious error.
-func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, id int, stop <-chan struct{}) {
+// canceled mid-flight and counted as a spurious error. With a pacer
+// the worker waits for each ticket's intended start instead of
+// re-issuing immediately, and the corrected histogram measures from
+// that intended start.
+func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, id int, stop <-chan struct{}, pace *pacer, tags *traceTag) {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
 	total := cfg.MixOpen + cfg.MixRead + cfg.MixWrite + cfg.MixAppend
 	buf := make([]byte, cfg.IOSize)
@@ -270,12 +376,26 @@ func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, i
 		buf[i] = byte('A' + (id+i)%26)
 	}
 	for {
-		select {
-		case <-stop:
-			return
-		case <-ctx.Done():
-			return
-		default:
+		var intended time.Time
+		if pace != nil {
+			intended = pace.intended()
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Until(intended)):
+				// A past intended time fires immediately: the op runs
+				// late and its corrected latency includes the backlog.
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
 		}
 		var op string
 		switch n := rng.Intn(total); {
@@ -288,8 +408,9 @@ func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, i
 		default:
 			op = "append"
 		}
+		octx := tags.wrap(ctx)
 		t0 := time.Now()
-		nbytes, err := blasterOp(ctx, cfg, rng, id, op, buf)
+		nbytes, err := blasterOp(octx, cfg, rng, id, op, buf)
 		if err != nil {
 			bm.errs[op].Inc()
 			if cfg.OnError != nil {
@@ -298,6 +419,9 @@ func blasterWorker(ctx context.Context, cfg BlasterConfig, bm *blasterMetrics, i
 			continue
 		}
 		bm.lat[op].ObserveSince(t0)
+		if pace != nil {
+			bm.corr[op].ObserveSince(intended)
+		}
 		bm.ops[op].Inc()
 		switch op {
 		case "read":

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"blobseer/internal/cluster"
+	"blobseer/internal/core"
 	"blobseer/internal/metrics"
+	"blobseer/internal/trace"
 	"blobseer/internal/util"
 )
 
@@ -110,5 +112,117 @@ func TestBlasterErrorBudget(t *testing.T) {
 	}
 	if err := (BlasterReport{}).Check(); err == nil {
 		t.Fatal("Check passed an empty run")
+	}
+}
+
+// TestBlasterPacedOpenLoop: with Rate set the blaster paces ops from a
+// global schedule and reports corrected percentiles measured from each
+// op's intended start — the coordinated-omission-honest view. A trace
+// hook tags sampled ops and the IDs surface in the report.
+func TestBlasterPacedOpenLoop(t *testing.T) {
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 2,
+		MetaProviders: 2,
+		BlockSize:     64 * util.KB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := 0
+	report, err := RunBlaster(context.Background(), BlasterConfig{
+		FS:          fsys,
+		Workers:     2,
+		Duration:    500 * time.Millisecond,
+		Ramp:        50 * time.Millisecond,
+		Files:       4,
+		IOSize:      4 * int(util.KB),
+		Rate:        200, // well under what the in-proc cluster sustains
+		ErrorBudget: 0.05,
+		Seed:        11,
+		Trace: func(ctx context.Context) (context.Context, string) {
+			traced++
+			tctx, id := core.WithTrace(ctx)
+			return tctx, id.String()
+		},
+		TraceEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if report.TargetRate != 200 {
+		t.Errorf("TargetRate = %v, want 200", report.TargetRate)
+	}
+	// A paced run at well under capacity completes close to rate*window
+	// ops, not "as many as possible": the loop really is open.
+	want := 200 * 0.5
+	if f := float64(report.TotalOps); f < want/2 || f > want*2 {
+		t.Errorf("paced run completed %d ops, want about %.0f", report.TotalOps, want)
+	}
+	if len(report.Corrected) == 0 {
+		t.Fatal("paced report carries no corrected percentiles")
+	}
+	for op, st := range report.Ops {
+		cs, ok := report.Corrected[op]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		// Corrected latency includes the wait from the intended start,
+		// so its percentiles can never undercut the service time's.
+		if cs.P99us < st.P99us-1 {
+			t.Errorf("op %s: corrected p99 %.0fµs below service p99 %.0fµs", op, cs.P99us, st.P99us)
+		}
+	}
+	if traced == 0 || len(report.TraceIDs) == 0 {
+		t.Errorf("trace hook fired %d times, report carries %d IDs; want both > 0",
+			traced, len(report.TraceIDs))
+	}
+	for _, id := range report.TraceIDs {
+		if _, err := trace.ParseID(id); err != nil {
+			t.Errorf("reported trace ID %q unparseable: %v", id, err)
+		}
+	}
+}
+
+// TestBlasterClosedLoopHasNoCorrected: without Rate the corrected view
+// must be absent, not zero-filled — closed-loop latency from intended
+// start would be meaningless.
+func TestBlasterClosedLoopHasNoCorrected(t *testing.T) {
+	cl, err := cluster.StartBlobSeer(cluster.Config{
+		DataProviders: 1,
+		MetaProviders: 1,
+		BlockSize:     64 * util.KB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	fsys, err := cl.NewBSFS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunBlaster(context.Background(), BlasterConfig{
+		FS:          fsys,
+		Workers:     1,
+		Duration:    200 * time.Millisecond,
+		Files:       2,
+		IOSize:      4 * int(util.KB),
+		ErrorBudget: 0.05,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TargetRate != 0 || len(report.Corrected) != 0 || len(report.TraceIDs) != 0 {
+		t.Errorf("closed-loop report leaked open-loop fields: rate %v, %d corrected, %d trace ids",
+			report.TargetRate, len(report.Corrected), len(report.TraceIDs))
 	}
 }

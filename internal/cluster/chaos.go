@@ -164,6 +164,9 @@ func (c *BlobSeer) RestartVMShard(k int) error {
 	}
 	c.vmSvcs[k] = svc
 	srv := rpc.NewServer(svc.Mux())
+	// The restarted shard keeps the original tracer: spans recorded
+	// before the crash and after the recovery stitch into one tree.
+	srv.SetTrace(c.tracerFor(c.vmName(k)), vmanager.MethodName)
 	c.addServer(c.VMAddrs[k], srv)
 	go srv.Serve(lis)
 	return nil
@@ -209,6 +212,7 @@ func (c *BlobSeer) RestartNamespace() error {
 		return fmt.Errorf("cluster: restart namespace: %w", err)
 	}
 	srv := rpc.NewServer(c.nsSvc.Mux())
+	srv.SetTrace(c.tracerFor("namespace"), namespace.MethodName)
 	c.addServer(c.NSAddr, srv)
 	go srv.Serve(lis)
 	return nil

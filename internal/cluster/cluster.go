@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"blobseer/internal/repair"
 	"blobseer/internal/rpc"
 	"blobseer/internal/store"
+	"blobseer/internal/trace"
 	"blobseer/internal/util"
 	"blobseer/internal/vmanager"
 )
@@ -85,8 +87,19 @@ type Config struct {
 	// metrics over HTTP at this address ("127.0.0.1:0" picks a free
 	// port; MetricsURL reports the bound endpoint). Every daemon's
 	// registry is exported under its service name regardless — the
-	// address only controls whether an HTTP listener fronts them.
+	// address only controls whether an HTTP listener fronts them. The
+	// same listener also serves the trace exporter at /trace.
 	MetricsAddr string
+
+	// Distributed tracing. Every daemon always carries a tracer (it
+	// records only requests that arrive already-traced, so an untraced
+	// workload costs nothing); TraceSample sets the client-side head
+	// sampling probability in [0,1], TraceSlow force-samples any client
+	// root operation slower than the threshold, and TraceBuf bounds
+	// each tracer's span ring (0 = trace.DefaultBufSpans).
+	TraceSample float64
+	TraceSlow   time.Duration
+	TraceBuf    int
 
 	// StoreURL selects every data provider's block-store backend (see
 	// store.Open): "mem://" (the default when empty), "file:///path",
@@ -152,6 +165,11 @@ type BlobSeer struct {
 	metricsURL  string
 	stopMetrics func() error
 
+	tracersMu    sync.Mutex
+	tracers      map[string]*trace.Tracer // per-daemon, by service name
+	clientTracer *trace.Tracer            // shared by every NewClient of this deployment
+	traceExp     *trace.Exporter
+
 	net       *rpc.InprocNetwork
 	serversMu sync.Mutex
 	servers   []*rpc.Server
@@ -173,7 +191,12 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		metaSvcs:      make(map[string]*dht.MetaService),
 		srvByAddr:     make(map[string]*rpc.Server),
 		stopHeartbeat: make(map[string]chan struct{}),
+		tracers:       make(map[string]*trace.Tracer),
+		traceExp:      trace.NewExporter(),
 	}
+	c.clientTracer = trace.New("client", cfg.TraceBuf)
+	c.clientTracer.SetSampling(cfg.TraceSample, cfg.TraceSlow)
+	c.traceExp.Register(c.clientTracer)
 
 	var listen listenerFactory
 	if cfg.UseTCP {
@@ -200,12 +223,13 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		c.Pool.SetCallTimeout(cfg.CallTimeout)
 	}
 
-	serve := func(name string, mux *rpc.Mux) (string, error) {
+	serve := func(name string, mux *rpc.Mux, opName func(uint16) string) (string, error) {
 		lis, addr, err := listen(name)
 		if err != nil {
 			return "", err
 		}
 		srv := rpc.NewServer(mux)
+		srv.SetTrace(c.tracerFor(name), opName)
 		c.serversMu.Lock()
 		c.servers = append(c.servers, srv)
 		c.srvByAddr[addr] = srv
@@ -217,7 +241,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	// Metadata providers + DHT.
 	for i := 0; i < cfg.MetaProviders; i++ {
 		svc := dht.NewMetaService(store.NewMemStore())
-		addr, err := serve(fmt.Sprintf("meta-%d", i), svc.Mux())
+		addr, err := serve(fmt.Sprintf("meta-%d", i), svc.Mux(), dht.MethodName)
 		if err != nil {
 			c.Stop()
 			return nil, err
@@ -244,7 +268,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		if cfg.WriteTimeout > 0 {
 			svc.StartJanitor(cfg.WriteTimeout, cfg.WriteTimeout/2)
 		}
-		addr, err := serve(c.vmName(k), svc.Mux())
+		addr, err := serve(c.vmName(k), svc.Mux(), vmanager.MethodName)
 		if err != nil {
 			svc.StopJanitor()
 			c.Stop()
@@ -260,7 +284,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	if cfg.ExpireAfter > 0 {
 		c.pmSvc.StartExpiry(cfg.ExpireAfter, cfg.ExpireAfter/2)
 	}
-	pmAddr, err := serve("pmanager", c.pmSvc.Mux())
+	pmAddr, err := serve("pmanager", c.pmSvc.Mux(), pmanager.MethodName)
 	if err != nil {
 		c.Stop()
 		return nil, err
@@ -274,7 +298,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		return nil, err
 	}
 	c.nsSvc = namespace.NewService(nsState)
-	nsAddr, err := serve("namespace", c.nsSvc.Mux())
+	nsAddr, err := serve("namespace", c.nsSvc.Mux(), namespace.MethodName)
 	if err != nil {
 		c.Stop()
 		return nil, err
@@ -296,7 +320,7 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		}
 		c.provStores = append(c.provStores, st)
 		svc := provider.NewService(st, provider.WithForwarder(c.Pool))
-		addr, err := serve(fmt.Sprintf("provider-%d", i), svc.Mux())
+		addr, err := serve(fmt.Sprintf("provider-%d", i), svc.Mux(), provider.MethodName)
 		if err != nil {
 			c.Stop()
 			return nil, err
@@ -342,7 +366,11 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 	}
 	c.exporter.Register("repair", c.repairEng.Metrics())
 	if cfg.MetricsAddr != "" {
-		bound, stop, err := c.exporter.Serve(cfg.MetricsAddr)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", c.exporter)
+		mux.Handle("/", c.exporter)
+		mux.Handle("/trace", c.traceExp)
+		bound, stop, err := metrics.ServeHandler(cfg.MetricsAddr, mux)
 		if err != nil {
 			c.Stop()
 			return nil, fmt.Errorf("cluster: metrics listener: %w", err)
@@ -351,6 +379,22 @@ func StartBlobSeer(cfg Config) (*BlobSeer, error) {
 		c.stopMetrics = stop
 	}
 	return c, nil
+}
+
+// tracerFor returns (creating on first use) the tracer of a named
+// daemon and registers it with the deployment trace exporter. Daemon
+// tracers never head-sample on their own — they record exactly the
+// requests that arrive carrying a sampled trace context.
+func (c *BlobSeer) tracerFor(name string) *trace.Tracer {
+	c.tracersMu.Lock()
+	defer c.tracersMu.Unlock()
+	t, ok := c.tracers[name]
+	if !ok {
+		t = trace.New(name, c.Cfg.TraceBuf)
+		c.tracers[name] = t
+		c.traceExp.Register(t)
+	}
+	return t
 }
 
 // startHeartbeat launches the provider's liveness loop: every interval
@@ -412,8 +456,18 @@ func (c *BlobSeer) RepairEngine() *repair.Engine { return c.repairEng }
 func (c *BlobSeer) Exporter() *metrics.Exporter { return c.exporter }
 
 // MetricsURL returns the served metrics endpoint ("http://host:port"),
-// or "" when Config.MetricsAddr was empty.
+// or "" when Config.MetricsAddr was empty. The same listener answers
+// /trace queries.
 func (c *BlobSeer) MetricsURL() string { return c.metricsURL }
+
+// TraceExporter exposes the deployment-wide trace exporter: every
+// daemon's span buffer plus the shared client tracer (tests stitch
+// trees from it directly; the metrics listener serves it at /trace).
+func (c *BlobSeer) TraceExporter() *trace.Exporter { return c.traceExp }
+
+// ClientTracer exposes the tracer shared by every client of this
+// deployment (tests adjust sampling per-scenario with SetSampling).
+func (c *BlobSeer) ClientTracer() *trace.Tracer { return c.clientTracer }
 
 // HostOf returns the synthetic host name of data provider i.
 func (c *BlobSeer) HostOf(i int) string { return fmt.Sprintf("host-%d", i) }
@@ -432,6 +486,7 @@ func (c *BlobSeer) NewClient(host string) *core.Client {
 		DataPlane:     c.Cfg.DataPlane,
 		FrameSize:     c.Cfg.FrameSize,
 		Overlay:       c.Overlay,
+		Tracer:        c.clientTracer,
 	})
 }
 
@@ -452,6 +507,7 @@ func (c *BlobSeer) NewMeteredClient(host, name string) (*core.Client, *metrics.R
 		FrameSize:     c.Cfg.FrameSize,
 		Overlay:       c.Overlay,
 		Metrics:       reg,
+		Tracer:        c.clientTracer,
 	})
 	c.exporter.Register(name, reg)
 	return cl, reg

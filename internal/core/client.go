@@ -30,6 +30,7 @@ import (
 	"blobseer/internal/provider"
 	"blobseer/internal/rpc"
 	"blobseer/internal/stream"
+	"blobseer/internal/trace"
 	"blobseer/internal/vmanager"
 )
 
@@ -103,6 +104,13 @@ type Config struct {
 	// (every instrument degrades to a no-op).
 	Metrics *metrics.Registry
 
+	// Tracer, when non-nil, records client-side spans (read, readat,
+	// resolve, write, ...) for sampled requests, and its sampling
+	// policy decides which fresh requests start a trace. Nil keeps the
+	// hot path trace-free; ops tagged via WithTrace still propagate
+	// their trace context to the services either way.
+	Tracer *trace.Tracer
+
 	// DisableFailureFeedback stops the client from reporting providers
 	// it could not reach to the provider manager. The feedback loop is
 	// on by default: a MarkDead report pulls a dead provider out of the
@@ -145,6 +153,7 @@ type Client struct {
 	reg      *metrics.Registry  // nil unless Config.Metrics was set
 	mResolve *metrics.Histogram // metadata resolve latency per readInto
 	coll     *stream.Collector  // client-wide stream pipeline counters (nil when unmetered)
+	tracer   *trace.Tracer      // nil unless Config.Tracer was set (nil is a no-op)
 
 	mu        sync.Mutex
 	histories map[blob.ID]*blob.History
@@ -181,6 +190,7 @@ func NewClient(cfg Config) *Client {
 		frameSize:  cfg.FrameSize,
 		overlay:    cfg.Overlay,
 		noFeedback: cfg.DisableFailureFeedback,
+		tracer:     cfg.Tracer,
 		nonce:      newNonceSource(),
 		putSem:     make(chan struct{}, putConcurrency),
 		histories:  make(map[blob.ID]*blob.History),
@@ -217,6 +227,21 @@ func NewClient(cfg Config) *Client {
 // Metrics exposes the registry handed in via Config.Metrics (nil for an
 // unmetered client).
 func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// Tracer exposes the tracer handed in via Config.Tracer (nil for an
+// untraced client).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
+
+// WithTrace force-samples: it returns ctx tagged with a fresh trace
+// root plus the trace ID to look the spans up with later. Every RPC
+// issued under the returned context is traced end to end — client-side
+// spans (when the client has a tracer), every service hop's server
+// span — regardless of any sampling rate. This is how the blaster and
+// tests tag individual operations, and how `bsfsctl trace` gets an ID
+// to stitch.
+func WithTrace(ctx context.Context) (context.Context, trace.ID) {
+	return trace.WithRoot(ctx)
+}
 
 // StreamCollector returns the client-wide stream pipeline counters, or
 // nil for an unmetered client (stream wiring is nil-safe either way).
@@ -315,7 +340,9 @@ func NewVMClient(pool *rpc.Pool, addr string, addrs []string) vmanager.API {
 
 // Create allocates a new empty BLOB.
 func (c *Client) Create(ctx context.Context, blockSize int64, replication int) (blob.Meta, error) {
+	ctx, sp := c.tracer.Start(ctx, "create")
 	m, err := c.vm.CreateBlob(ctx, blockSize, replication)
+	sp.Finish(err)
 	if err != nil {
 		return blob.Meta{}, err
 	}
@@ -333,7 +360,9 @@ func (c *Client) Meta(ctx context.Context, id blob.ID) (blob.Meta, error) {
 	if ok {
 		return m, nil
 	}
+	ctx, sp := c.tracer.Start(ctx, "meta")
 	m, err := c.vm.GetMeta(ctx, id)
+	sp.Finish(err)
 	if err != nil {
 		return blob.Meta{}, err
 	}
@@ -345,13 +374,19 @@ func (c *Client) Meta(ctx context.Context, id blob.ID) (blob.Meta, error) {
 
 // Latest returns the newest published version and the blob size at it.
 func (c *Client) Latest(ctx context.Context, id blob.ID) (blob.Version, int64, error) {
-	return c.vm.Latest(ctx, id)
+	ctx, sp := c.tracer.Start(ctx, "latest")
+	v, size, err := c.vm.Latest(ctx, id)
+	sp.Finish(err)
+	return v, size, err
 }
 
 // WaitPublished blocks until version v is published (the snapshot
 // notification mechanism of Section III-A5).
 func (c *Client) WaitPublished(ctx context.Context, id blob.ID, v blob.Version, timeout time.Duration) (blob.Version, int64, error) {
-	return c.vm.WaitPublished(ctx, id, v, timeout)
+	ctx, sp := c.tracer.Start(ctx, "wait")
+	pv, size, err := c.vm.WaitPublished(ctx, id, v, timeout)
+	sp.Finish(err)
+	return pv, size, err
 }
 
 // Write stores data at off in blob id and returns the new snapshot
@@ -369,10 +404,16 @@ func (c *Client) Append(ctx context.Context, id blob.ID, data []byte) (blob.Vers
 	return c.doWrite(ctx, id, blob.KindAppend, 0, data)
 }
 
-func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, off int64, data []byte) (blob.Version, error) {
+func (c *Client) doWrite(ctx context.Context, id blob.ID, kind blob.WriteKind, off int64, data []byte) (_ blob.Version, err error) {
 	if len(data) == 0 {
 		return 0, fmt.Errorf("core: empty %s", kind)
 	}
+	op := "write"
+	if kind == blob.KindAppend {
+		op = "append"
+	}
+	ctx, sp := c.tracer.Start(ctx, op)
+	defer func() { sp.Finish(err) }()
 	m, err := c.Meta(ctx, id)
 	if err != nil {
 		return 0, err
@@ -679,7 +720,9 @@ func (c *Client) versionSize(ctx context.Context, id blob.ID, v blob.Version) (i
 // apart, or that read the same version more than once, should use
 // OpenBlob/Snapshot: the handle resolves the version metadata once and
 // reads into caller-owned buffers with no per-call round-trips.
-func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, length int64) ([]byte, error) {
+func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, length int64) (_ []byte, err error) {
+	ctx, sp := c.tracer.Start(ctx, "read")
+	defer func() { sp.Finish(err) }()
 	b, err := c.OpenBlob(ctx, id)
 	if err != nil {
 		return nil, err
@@ -710,7 +753,9 @@ func (c *Client) Read(ctx context.Context, id blob.ID, v blob.Version, off, leng
 // snapshot.
 func (c *Client) readInto(ctx context.Context, m blob.Meta, v blob.Version, size, off int64, dst []byte) error {
 	t0 := time.Now()
-	extents, err := mdtree.Resolve(ctx, c.meta, m, v, size, blob.Range{Off: off, Len: int64(len(dst))})
+	rctx, sp := c.tracer.Start(ctx, "resolve")
+	extents, err := mdtree.Resolve(rctx, c.meta, m, v, size, blob.Range{Off: off, Len: int64(len(dst))})
+	sp.Finish(err)
 	c.mResolve.ObserveSince(t0)
 	if err != nil {
 		return err

@@ -229,9 +229,12 @@ func (s *Snapshot) ReadAtContext(ctx context.Context, p []byte, off int64) (int,
 	if off+int64(n) > s.size {
 		n = int(s.size - off)
 	}
+	ctx, sp := s.b.c.tracer.Start(ctx, "readat")
 	if err := s.b.c.readInto(ctx, s.b.meta, s.version, s.size, off, p[:n]); err != nil {
+		sp.Finish(err)
 		return 0, err
 	}
+	sp.Finish(nil) // a clean tail read's io.EOF is success, not an error
 	if off+int64(n) == s.size {
 		return n, io.EOF // the read reached the tail exactly
 	}
@@ -270,7 +273,11 @@ func (s *Snapshot) NewReader(ctx context.Context, o ReaderOptions) *stream.Reade
 		Readahead: o.Readahead,
 		NoCache:   o.NoCache,
 		Collector: s.b.c.coll,
-		Fetch: func(ctx context.Context, off, length int64) ([]byte, error) {
+		Fetch: func(ctx context.Context, off, length int64) (_ []byte, err error) {
+			// One span per stream-engine block fetch, so demand reads
+			// and readahead prefetches both show up in the trace.
+			ctx, sp := s.b.c.tracer.Start(ctx, "stream.fetch")
+			defer func() { sp.Finish(err) }()
 			buf := make([]byte, length)
 			n, err := s.ReadAtContext(ctx, buf, off)
 			if err != nil && err != io.EOF {

@@ -24,6 +24,20 @@ const (
 	mMetaGetBatch
 )
 
+// methodNames maps method numbers to operation names (method - 1).
+var methodNames = [mMetaGetBatch]string{
+	"put", "get", "delete", "stat", "put_batch", "get_batch",
+}
+
+// MethodName maps an RPC method number to its operation name, for the
+// server-side tracer.
+func MethodName(m uint16) string {
+	if m >= 1 && m <= mMetaGetBatch {
+		return methodNames[m-1]
+	}
+	return "unknown"
+}
+
 // CodeNotFound is the RPC status for a missing metadata key.
 const CodeNotFound uint16 = 11
 
@@ -82,7 +96,7 @@ func (s *MetaService) Mux() *rpc.Mux {
 	return m
 }
 
-func (s *MetaService) handlePut(payload []byte) ([]byte, error) {
+func (s *MetaService) handlePut(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	key := r.String()
 	val := r.Bytes32()
@@ -94,7 +108,7 @@ func (s *MetaService) handlePut(payload []byte) ([]byte, error) {
 	return nil, s.store.Put(key, val)
 }
 
-func (s *MetaService) handleGet(payload []byte) ([]byte, error) {
+func (s *MetaService) handleGet(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	key := r.String()
 	if err := r.Err(); err != nil {
@@ -114,7 +128,7 @@ func (s *MetaService) handleGet(payload []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *MetaService) handleDelete(payload []byte) ([]byte, error) {
+func (s *MetaService) handleDelete(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	key := r.String()
 	if err := r.Err(); err != nil {
@@ -124,7 +138,7 @@ func (s *MetaService) handleDelete(payload []byte) ([]byte, error) {
 	return nil, s.store.Delete(key)
 }
 
-func (s *MetaService) handleStat(payload []byte) ([]byte, error) {
+func (s *MetaService) handleStat(ctx context.Context, payload []byte) ([]byte, error) {
 	st := s.store.Stats()
 	b := wire.NewBuffer(16)
 	b.I64(st.Items)
@@ -135,7 +149,7 @@ func (s *MetaService) handleStat(payload []byte) ([]byte, error) {
 // handlePutBatch stores every pair of a multi-put; any failure aborts
 // the batch (the client treats the whole RPC as failed, matching the
 // durability contract of single puts).
-func (s *MetaService) handlePutBatch(payload []byte) ([]byte, error) {
+func (s *MetaService) handlePutBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	kvs := r.KVSlice()
 	if err := r.Err(); err != nil {
@@ -155,7 +169,7 @@ func (s *MetaService) handlePutBatch(payload []byte) ([]byte, error) {
 // handleGetBatch answers a multi-get. Unlike single gets, a missing key
 // is not an RPC error: each requested key gets a presence flag so one
 // response carries hits and authoritative misses side by side.
-func (s *MetaService) handleGetBatch(payload []byte) ([]byte, error) {
+func (s *MetaService) handleGetBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	keys := r.StringSlice()
 	if err := r.Err(); err != nil {

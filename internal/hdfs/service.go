@@ -54,7 +54,7 @@ func (s *Service) Mux() *rpc.Mux {
 	return m
 }
 
-func (s *Service) handleRegister(p []byte) ([]byte, error) {
+func (s *Service) handleRegister(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr, host := r.String(), r.String()
 	if err := r.Err(); err != nil {
@@ -64,7 +64,7 @@ func (s *Service) handleRegister(p []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
+func (s *Service) handleMarkDead(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	if err := r.Err(); err != nil {
@@ -74,7 +74,7 @@ func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleCreate(p []byte) ([]byte, error) {
+func (s *Service) handleCreate(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	overwrite := r.Bool()
@@ -91,7 +91,7 @@ func (s *Service) handleCreate(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleAddBlock(p []byte) ([]byte, error) {
+func (s *Service) handleAddBlock(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := FileID(r.U64())
 	lease := r.String()
@@ -110,7 +110,7 @@ func (s *Service) handleAddBlock(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleCompleteBlock(p []byte) ([]byte, error) {
+func (s *Service) handleCompleteBlock(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := FileID(r.U64())
 	lease := r.String()
@@ -122,7 +122,7 @@ func (s *Service) handleCompleteBlock(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.nn.CompleteBlock(id, lease, bid, length))
 }
 
-func (s *Service) handleCompleteFile(p []byte) ([]byte, error) {
+func (s *Service) handleCompleteFile(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := FileID(r.U64())
 	lease := r.String()
@@ -132,7 +132,7 @@ func (s *Service) handleCompleteFile(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.nn.CompleteFile(id, lease))
 }
 
-func (s *Service) handleGetBlockLocations(p []byte) ([]byte, error) {
+func (s *Service) handleGetBlockLocations(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	off, length := r.I64(), r.I64()
@@ -166,7 +166,7 @@ func decodeStatus(r *wire.Reader) fs.FileStatus {
 	return fs.FileStatus{Path: r.String(), Size: r.I64(), IsDir: r.Bool()}
 }
 
-func (s *Service) handleStat(p []byte) ([]byte, error) {
+func (s *Service) handleStat(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -181,7 +181,7 @@ func (s *Service) handleStat(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleList(p []byte) ([]byte, error) {
+func (s *Service) handleList(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -199,7 +199,7 @@ func (s *Service) handleList(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
+func (s *Service) handleMkdirs(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -208,7 +208,7 @@ func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.nn.Mkdirs(path))
 }
 
-func (s *Service) handleDelete(p []byte) ([]byte, error) {
+func (s *Service) handleDelete(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	recursive := r.Bool()
@@ -218,7 +218,7 @@ func (s *Service) handleDelete(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.nn.Delete(path, recursive))
 }
 
-func (s *Service) handleRename(p []byte) ([]byte, error) {
+func (s *Service) handleRename(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	src, dst := r.String(), r.String()
 	if err := r.Err(); err != nil {

@@ -375,13 +375,13 @@ func (s *JTService) Mux() *rpc.Mux {
 	return m
 }
 
-func (s *JTService) handleSubmit(p []byte) ([]byte, error) {
+func (s *JTService) handleSubmit(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	conf := decodeConf(r)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	id, err := s.jt.Submit(context.Background(), conf)
+	id, err := s.jt.Submit(ctx, conf)
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +390,7 @@ func (s *JTService) handleSubmit(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *JTService) handleRequestTasks(p []byte) ([]byte, error) {
+func (s *JTService) handleRequestTasks(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	host := r.String()
@@ -418,7 +418,7 @@ func (s *JTService) handleRequestTasks(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *JTService) handleReport(p []byte) ([]byte, error) {
+func (s *JTService) handleReport(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	jobID := r.U64()
 	taskType := r.U8()
@@ -432,7 +432,7 @@ func (s *JTService) handleReport(p []byte) ([]byte, error) {
 	return nil, s.jt.Report(jobID, taskType, taskID, addr, success, errMsg)
 }
 
-func (s *JTService) handleStatus(p []byte) ([]byte, error) {
+func (s *JTService) handleStatus(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	jobID := r.U64()
 	if err := r.Err(); err != nil {

@@ -74,7 +74,7 @@ func (t *TaskTracker) Mux() *rpc.Mux {
 	return m
 }
 
-func (t *TaskTracker) handleGetMapOutput(p []byte) ([]byte, error) {
+func (t *TaskTracker) handleGetMapOutput(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	jobID := r.U64()
 	mapTask := int(r.U32())

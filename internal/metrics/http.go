@@ -52,8 +52,12 @@ func (e *Exporter) Snapshot() map[string]Snapshot {
 	return out
 }
 
-// ServeHTTP renders the exporter state: JSON by default,
-// line-oriented text with ?format=text (service.metric value).
+// ServeHTTP renders the exporter state: JSON by default, scrape-
+// friendly line-oriented text with ?format=text. The text format
+// carries `# type` hints, cumulative histogram bucket lines
+// (service.metric.bucket{le=N} count, closed by le=+Inf), and the
+// windowed recent view, so external collectors can ingest it without
+// the JSON path.
 func (e *Exporter) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	snap := e.Snapshot()
 	if req.URL.Query().Get("format") == "text" {
@@ -61,18 +65,31 @@ func (e *Exporter) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		for _, svc := range sortedKeys(snap) {
 			s := snap[svc]
 			for _, k := range sortedKeys(s.Counters) {
+				fmt.Fprintf(w, "# type %s.%s counter\n", svc, k)
 				fmt.Fprintf(w, "%s.%s %d\n", svc, k, s.Counters[k])
 			}
 			for _, k := range sortedKeys(s.Gauges) {
+				fmt.Fprintf(w, "# type %s.%s gauge\n", svc, k)
 				fmt.Fprintf(w, "%s.%s %d\n", svc, k, s.Gauges[k])
 			}
 			for _, k := range sortedKeys(s.Histograms) {
 				h := s.Histograms[k]
+				fmt.Fprintf(w, "# type %s.%s histogram\n", svc, k)
+				for _, b := range h.Buckets {
+					fmt.Fprintf(w, "%s.%s.bucket{le=%d} %d\n", svc, k, b.Le, b.Count)
+				}
+				fmt.Fprintf(w, "%s.%s.bucket{le=+Inf} %d\n", svc, k, h.Count)
 				fmt.Fprintf(w, "%s.%s{count} %d\n", svc, k, h.Count)
 				fmt.Fprintf(w, "%s.%s{sum} %d\n", svc, k, h.Sum)
 				fmt.Fprintf(w, "%s.%s{p50} %.0f\n", svc, k, h.P50)
 				fmt.Fprintf(w, "%s.%s{p99} %.0f\n", svc, k, h.P99)
 				fmt.Fprintf(w, "%s.%s{p999} %.0f\n", svc, k, h.P999)
+				if r := h.Recent; r != nil {
+					fmt.Fprintf(w, "%s.%s{recent_count} %d\n", svc, k, r.Count)
+					fmt.Fprintf(w, "%s.%s{recent_p50} %.0f\n", svc, k, r.P50)
+					fmt.Fprintf(w, "%s.%s{recent_p99} %.0f\n", svc, k, r.P99)
+					fmt.Fprintf(w, "%s.%s{recent_p999} %.0f\n", svc, k, r.P999)
+				}
 			}
 		}
 		return
@@ -95,11 +112,19 @@ func (e *Exporter) Handler() http.Handler {
 // Serve starts an HTTP listener on addr (":0" picks a free port) and
 // returns the bound address plus a stop function.
 func (e *Exporter) Serve(addr string) (string, func() error, error) {
+	return ServeHandler(addr, e.Handler())
+}
+
+// ServeHandler starts an HTTP listener on addr (":0" picks a free
+// port) serving h, returning the bound address plus a stop function.
+// Daemons use it to co-mount the trace endpoint next to /metrics on
+// one listener.
+func ServeHandler(addr string, h http.Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: e.Handler()}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

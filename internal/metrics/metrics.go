@@ -77,14 +77,43 @@ func (g *Gauge) Value() int64 {
 // 64 buckets cover every int64, from 1 ns to ~292 years.
 const histBuckets = 64
 
+// Rate windowing: in addition to the cumulative buckets, a histogram
+// keeps histWindows rotating bucket windows of DefaultWindow each and
+// reports the merge of the last DefaultWindowMerge as its "recent"
+// view — so a mid-run latency regression shows up instead of diluting
+// into since-process-start history. Rotation is epoch-stamped CAS:
+// the first observer of a new epoch zeroes the slot it reuses.
+// Observations racing a rotation may land in either epoch; that
+// boundary noise is acceptable for a monitoring window.
+const (
+	histWindows = 8
+	// DefaultWindow is the span of one rotating window slot.
+	DefaultWindow = 10 * time.Second
+	// DefaultWindowMerge is how many trailing windows merge into the
+	// "recent" view (3 × 10s ≈ the last half minute).
+	DefaultWindowMerge = 3
+)
+
+type histWindow struct {
+	epoch   atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
 // Histogram records int64 observations (latency in nanoseconds, batch
 // sizes, frame counts, ...) into power-of-two buckets and estimates
 // quantiles by linear interpolation inside the hit bucket. All methods
-// are lock-free.
+// are lock-free. The zero value is cumulative-only; registry-created
+// histograms also maintain the rotating recent windows.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [histBuckets]atomic.Int64
+
+	window   int64 // window slot span in ns; 0 disables windowing
+	winMerge int   // trailing windows merged into the recent view
+	win      [histWindows]histWindow
 }
 
 func bucketIndex(v int64) int {
@@ -99,9 +128,28 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
+	idx := bucketIndex(v)
 	h.count.Add(1)
 	h.sum.Add(v)
-	h.buckets[bucketIndex(v)].Add(1)
+	h.buckets[idx].Add(1)
+	if h.window > 0 {
+		e := time.Now().UnixNano() / h.window
+		w := &h.win[int(e%histWindows)]
+		if old := w.epoch.Load(); old != e {
+			if w.epoch.CompareAndSwap(old, e) {
+				// This slot last held epoch e-histWindows; the winner
+				// of the CAS recycles it for the new epoch.
+				w.count.Store(0)
+				w.sum.Store(0)
+				for i := range w.buckets {
+					w.buckets[i].Store(0)
+				}
+			}
+		}
+		w.count.Add(1)
+		w.sum.Add(v)
+		w.buckets[idx].Add(1)
+	}
 }
 
 // ObserveSince records the elapsed nanoseconds since t0.
@@ -135,7 +183,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	var b [histBuckets]int64
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+	}
+	return quantileOf(&b, h.count.Load(), q)
+}
+
+// quantileOf is the interpolation shared by the cumulative and the
+// windowed views: it walks a plain bucket-count array so merged window
+// snapshots get the same estimator as live histograms.
+func quantileOf(b *[histBuckets]int64, total int64, q float64) float64 {
 	if total <= 0 {
 		return 0
 	}
@@ -148,7 +206,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	rank := q * float64(total)
 	var seen float64
 	for i := 0; i < histBuckets; i++ {
-		n := float64(h.buckets[i].Load())
+		n := float64(b[i])
 		if n == 0 {
 			continue
 		}
@@ -172,14 +230,110 @@ func bucketBounds(i int) (lo, hi float64) {
 	return lo, lo * 2
 }
 
-// HistSnapshot is a histogram's exported shape: count, sum, and the
-// three interpolated percentiles every BlobSeer dashboard cares about.
+// HistBucket is one cumulative bucket line of a snapshot: the count of
+// observations <= Le.
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// WindowStats is the merged view of a histogram's trailing windows:
+// the same count/sum/percentile shape as the cumulative view, but
+// covering only the last Seconds of observations.
+type WindowStats struct {
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+	P999    float64 `json:"p999"`
+}
+
+// HistSnapshot is a histogram's exported shape: count, sum, the three
+// interpolated percentiles every BlobSeer dashboard cares about, the
+// cumulative bucket counts (up to the highest populated bucket), and —
+// for windowed histograms — the merged recent view.
 type HistSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	P50   float64 `json:"p50"`
-	P99   float64 `json:"p99"`
-	P999  float64 `json:"p999"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	P50     float64      `json:"p50"`
+	P99     float64      `json:"p99"`
+	P999    float64      `json:"p999"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+	Recent  *WindowStats `json:"recent,omitempty"`
+}
+
+// bucketLe is bucket i's inclusive upper bound as an int64 (the last
+// buckets clamp to MaxInt64 rather than overflow).
+func bucketLe(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 62 {
+		return math.MaxInt64
+	}
+	return int64(1) << (i + 1)
+}
+
+// SnapshotValues captures the histogram's exported shape.
+func (h *Histogram) SnapshotValues() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var b [histBuckets]int64
+	top := -1
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+		if b[i] != 0 {
+			top = i
+		}
+	}
+	count := h.count.Load()
+	s := HistSnapshot{
+		Count: count,
+		Sum:   h.sum.Load(),
+		P50:   quantileOf(&b, count, 0.50),
+		P99:   quantileOf(&b, count, 0.99),
+		P999:  quantileOf(&b, count, 0.999),
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += b[i]
+		s.Buckets = append(s.Buckets, HistBucket{Le: bucketLe(i), Count: cum})
+	}
+	s.Recent = h.Recent()
+	return s
+}
+
+// Recent merges the histogram's trailing windows (the last winMerge
+// slots, current one included) into one view. Nil when the histogram
+// is not windowed.
+func (h *Histogram) Recent() *WindowStats {
+	if h == nil || h.window <= 0 {
+		return nil
+	}
+	e0 := time.Now().UnixNano() / h.window
+	var b [histBuckets]int64
+	var count, sum int64
+	for i := range h.win {
+		w := &h.win[i]
+		e := w.epoch.Load()
+		if e <= e0 && e > e0-int64(h.winMerge) {
+			count += w.count.Load()
+			sum += w.sum.Load()
+			for j := range b {
+				b[j] += w.buckets[j].Load()
+			}
+		}
+	}
+	return &WindowStats{
+		Seconds: time.Duration(h.window * int64(h.winMerge)).Seconds(),
+		Count:   count,
+		Sum:     sum,
+		P50:     quantileOf(&b, count, 0.50),
+		P99:     quantileOf(&b, count, 0.99),
+		P999:    quantileOf(&b, count, 0.999),
+	}
 }
 
 // Snapshot is a point-in-time copy of one registry: plain values only,
@@ -201,16 +355,43 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	funcs    map[string]func() int64
 	hists    map[string]*Histogram
+
+	window   time.Duration
+	winMerge int
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. Its histograms rotate recent
+// windows at the package defaults; SetWindow overrides.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		funcs:    make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
+		window:   DefaultWindow,
+		winMerge: DefaultWindowMerge,
 	}
+}
+
+// SetWindow configures the rotating-window span and merge depth for
+// histograms created after the call (tests shrink the window to
+// milliseconds; d <= 0 turns windowing off entirely).
+func (r *Registry) SetWindow(d time.Duration, merge int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.window = d
+	if merge < 1 {
+		merge = 1
+	}
+	if merge > histWindows-1 {
+		// One slot is always the epoch being overwritten next; merging
+		// all 8 would mix a window from two rotations ago into "recent".
+		merge = histWindows - 1
+	}
+	r.winMerge = merge
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -265,7 +446,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Histogram{}
+		h = &Histogram{winMerge: r.winMerge}
+		if r.window > 0 {
+			h.window = int64(r.window)
+		}
 		r.hists[name] = h
 	}
 	return h
@@ -316,13 +500,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(hists) > 0 {
 		s.Histograms = make(map[string]HistSnapshot, len(hists))
 		for k, v := range hists {
-			s.Histograms[k] = HistSnapshot{
-				Count: v.Count(),
-				Sum:   v.Sum(),
-				P50:   v.Quantile(0.50),
-				P99:   v.Quantile(0.99),
-				P999:  v.Quantile(0.999),
-			}
+			s.Histograms[k] = v.SnapshotValues()
 		}
 	}
 	return s

@@ -35,10 +35,10 @@ func (s *Service) timed(name string, fn rpc.HandlerFunc) rpc.HandlerFunc {
 	ops := s.reg.Counter("ops_" + name)
 	errs := s.reg.Counter("errors_" + name)
 	lat := s.reg.Histogram("latency_" + name)
-	return func(p []byte) ([]byte, error) {
+	return func(ctx context.Context, p []byte) ([]byte, error) {
 		ops.Inc()
 		t0 := time.Now()
-		resp, err := fn(p)
+		resp, err := fn(ctx, p)
 		lat.ObserveSince(t0)
 		if err != nil {
 			errs.Inc()
@@ -60,7 +60,7 @@ func (s *Service) Mux() *rpc.Mux {
 	return m
 }
 
-func (s *Service) handleCreateFile(p []byte) ([]byte, error) {
+func (s *Service) handleCreateFile(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	blockSize := r.I64()
@@ -69,7 +69,7 @@ func (s *Service) handleCreateFile(p []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	id, err := s.state.CreateFile(context.Background(), path, blockSize, replication, overwrite)
+	id, err := s.state.CreateFile(ctx, path, blockSize, replication, overwrite)
 	if err != nil {
 		return nil, fs.WrapErr(err)
 	}
@@ -78,7 +78,7 @@ func (s *Service) handleCreateFile(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleGetFile(p []byte) ([]byte, error) {
+func (s *Service) handleGetFile(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -93,7 +93,7 @@ func (s *Service) handleGetFile(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
+func (s *Service) handleMkdirs(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -102,7 +102,7 @@ func (s *Service) handleMkdirs(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.state.Mkdirs(path))
 }
 
-func (s *Service) handleDelete(p []byte) ([]byte, error) {
+func (s *Service) handleDelete(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	recursive := r.Bool()
@@ -121,7 +121,7 @@ func (s *Service) handleDelete(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleRename(p []byte) ([]byte, error) {
+func (s *Service) handleRename(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	src := r.String()
 	dst := r.String()
@@ -131,7 +131,7 @@ func (s *Service) handleRename(p []byte) ([]byte, error) {
 	return nil, fs.WrapErr(s.state.Rename(src, dst))
 }
 
-func (s *Service) handleList(p []byte) ([]byte, error) {
+func (s *Service) handleList(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {
@@ -151,7 +151,7 @@ func (s *Service) handleList(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleStatEntry(p []byte) ([]byte, error) {
+func (s *Service) handleStatEntry(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	path := r.String()
 	if err := r.Err(); err != nil {

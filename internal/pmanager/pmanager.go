@@ -29,6 +29,20 @@ const (
 	mDecommission
 )
 
+// methodNames maps method numbers to operation names (method - 1).
+var methodNames = [mDecommission]string{
+	"register", "allocate", "list", "mark_dead", "heartbeat", "decommission",
+}
+
+// MethodName maps an RPC method number to its operation name, for the
+// server-side tracer.
+func MethodName(m uint16) string {
+	if m >= 1 && m <= mDecommission {
+		return methodNames[m-1]
+	}
+	return "unknown"
+}
+
 // CodeNoProviders maps placement.ErrNoProviders across the wire.
 const CodeNoProviders uint16 = 30
 
@@ -325,7 +339,7 @@ func (s *Service) Mux() *rpc.Mux {
 	return m
 }
 
-func (s *Service) handleRegister(p []byte) ([]byte, error) {
+func (s *Service) handleRegister(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	host := r.String()
@@ -337,7 +351,7 @@ func (s *Service) handleRegister(p []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
+func (s *Service) handleHeartbeat(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	st := store.Stats{Items: r.I64(), Bytes: r.I64()}
@@ -355,7 +369,7 @@ func (s *Service) handleHeartbeat(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
+func (s *Service) handleMarkDead(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	if err := r.Err(); err != nil {
@@ -366,7 +380,7 @@ func (s *Service) handleMarkDead(p []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleDecommission(p []byte) ([]byte, error) {
+func (s *Service) handleDecommission(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	addr := r.String()
 	if err := r.Err(); err != nil {
@@ -377,7 +391,7 @@ func (s *Service) handleDecommission(p []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Service) handleAllocate(p []byte) ([]byte, error) {
+func (s *Service) handleAllocate(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	nBlocks := int(r.U32())
 	replicas := int(r.U32())
@@ -403,7 +417,7 @@ func (s *Service) handleAllocate(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleList(p []byte) ([]byte, error) {
+func (s *Service) handleList(ctx context.Context, p []byte) ([]byte, error) {
 	infos := s.state.List()
 	b := wire.NewBuffer(64)
 	b.U32(uint32(len(infos)))

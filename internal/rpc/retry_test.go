@@ -97,7 +97,7 @@ func TestCallTimeoutWriteStall(t *testing.T) {
 // deadline.
 func TestNoTimeoutExemptsCall(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(1, func(p []byte) ([]byte, error) {
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) {
 		time.Sleep(150 * time.Millisecond)
 		return []byte("late"), nil
 	})
@@ -124,7 +124,7 @@ func TestNoTimeoutExemptsCall(t *testing.T) {
 // wait), and its expiry surfaces as ctx.Err, not ErrCallTimeout.
 func TestContextDeadlineOverridesIOTimeout(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(1, func(p []byte) ([]byte, error) {
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) {
 		time.Sleep(100 * time.Millisecond)
 		return []byte("ok"), nil
 	})

@@ -6,11 +6,16 @@
 //
 // Frame layout (inside a wire frame):
 //
-//	u64 request id | u16 method | u8 flags | u16 status | payload...
+//	u64 request id | u16 method | u8 flags | u16 status | [trace] | payload...
 //
 // flags bit 0 marks a response. status is non-zero on a response whose
 // payload is an error message; services map status codes back to
-// sentinel errors.
+// sentinel errors. flags bit 1, on a request, announces a 25-byte
+// trace context between the status and the payload: u64 trace-id hi,
+// u64 trace-id lo, u64 parent span id, u8 trace flags (bit 0 =
+// sampled). Requests without the bit carry no trace bytes at all, so
+// untraced frames are byte-identical to the pre-trace protocol and old
+// peers interoperate.
 package rpc
 
 import (
@@ -20,14 +25,24 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blobseer/internal/trace"
 	"blobseer/internal/wire"
 )
 
-const flagResponse = 1
+const (
+	flagResponse = 1
+	// flagTrace marks a request frame carrying a trace context.
+	flagTrace = 2
+	// traceSampled is bit 0 of the trace-flags byte.
+	traceSampled = 1
+	// traceHdrLen is the size of the optional trace context block.
+	traceHdrLen = 25
+)
 
 // StatusOK marks a successful response.
 const StatusOK uint16 = 0
@@ -138,8 +153,11 @@ func CodeOf(err error) uint16 {
 }
 
 // HandlerFunc processes one request payload and returns a response
-// payload or an error.
-type HandlerFunc func(payload []byte) ([]byte, error)
+// payload or an error. ctx carries the request's trace context (if the
+// frame was traced), so handlers that fan out — a provider forwarding
+// down a replica chain, the namespace manager calling the version
+// manager — propagate causality by passing ctx to their own calls.
+type HandlerFunc func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Mux dispatches requests by method number. The zero value is usable.
 type Mux struct {
@@ -173,6 +191,9 @@ func (x *Mux) lookup(m uint16) (HandlerFunc, bool) {
 type Server struct {
 	mux *Mux
 
+	tracer *trace.Tracer
+	opName func(uint16) string
+
 	mu     sync.Mutex
 	lis    net.Listener
 	conns  map[net.Conn]struct{}
@@ -183,6 +204,14 @@ type Server struct {
 // NewServer returns a server dispatching through mux.
 func NewServer(mux *Mux) *Server {
 	return &Server{mux: mux, conns: make(map[net.Conn]struct{})}
+}
+
+// SetTrace attaches a tracer: every dispatched request records one
+// server-side span, named via opName (each service package exports a
+// MethodName for this). Must be called before Serve.
+func (s *Server) SetTrace(t *trace.Tracer, opName func(uint16) string) {
+	s.tracer = t
+	s.opName = opName
 }
 
 // Serve accepts connections from lis until the server is closed. It
@@ -266,6 +295,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		method := r.U16()
 		flags := r.U8()
 		_ = r.U16() // status unused on requests
+		var tc trace.Context
+		if flags&flagTrace != 0 {
+			hi, lo := r.U64(), r.U64()
+			span := r.U64()
+			if tf := r.U8(); tf&traceSampled != 0 {
+				tc = trace.Context{Trace: trace.ID{Hi: hi, Lo: lo}, Span: trace.SpanID(span)}
+			}
+		}
 		if r.Err() != nil || flags&flagResponse != 0 {
 			return // protocol violation; drop the connection
 		}
@@ -273,7 +310,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		hwg.Add(1)
 		go func() {
 			defer hwg.Done()
-			resp, status := s.dispatch(method, payload)
+			ctx := context.Background()
+			if !tc.Trace.IsZero() {
+				ctx = trace.NewContext(ctx, tc)
+			}
+			resp, status := s.dispatch(ctx, method, payload)
 			buf := wire.NewBuffer(13 + len(resp))
 			buf.U64(id)
 			buf.U16(method)
@@ -290,15 +331,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(method uint16, payload []byte) ([]byte, uint16) {
+func (s *Server) dispatch(ctx context.Context, method uint16, payload []byte) ([]byte, uint16) {
 	fn, ok := s.mux.lookup(method)
 	if !ok {
 		return []byte(fmt.Sprintf("unknown method %d", method)), StatusError
 	}
-	resp, err := fn(payload)
-	if err != nil {
-		return []byte(err.Error()), CodeOf(err)
+	var sp trace.Active
+	if s.tracer != nil {
+		name := "m" + strconv.Itoa(int(method))
+		if s.opName != nil {
+			name = s.opName(method)
+		}
+		ctx, sp = s.tracer.Start(ctx, name)
 	}
+	resp, err := fn(ctx, payload)
+	if err != nil {
+		code := CodeOf(err)
+		sp.FinishCode(code, err.Error())
+		return []byte(err.Error()), code
+	}
+	sp.FinishCode(StatusOK, "")
 	return resp, StatusOK
 }
 
@@ -350,11 +402,27 @@ func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byt
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	buf := wire.NewBuffer(13 + len(payload))
+	// A trace context on ctx rides the frame so the server joins the
+	// caller's trace; untraced calls emit exactly the legacy header.
+	tc, traced := trace.FromContext(ctx)
+	traced = traced && !tc.Trace.IsZero()
+	hdr := 13
+	var flags uint8
+	if traced {
+		hdr += traceHdrLen
+		flags |= flagTrace
+	}
+	buf := wire.NewBuffer(hdr + len(payload))
 	buf.U64(id)
 	buf.U16(method)
-	buf.U8(0)
+	buf.U8(flags)
 	buf.U16(0)
+	if traced {
+		buf.U64(tc.Trace.Hi)
+		buf.U64(tc.Trace.Lo)
+		buf.U64(uint64(tc.Span))
+		buf.U8(traceSampled)
+	}
 	frame := append(buf.Bytes(), payload...)
 
 	d := time.Duration(c.timeout.Load())

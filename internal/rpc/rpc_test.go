@@ -26,7 +26,7 @@ func startServer(t *testing.T, mux *Mux) (*InprocNetwork, string, *Server) {
 
 func TestCallRoundTrip(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(1, func(p []byte) ([]byte, error) {
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) {
 		return append([]byte("echo:"), p...), nil
 	})
 	n, addr, _ := startServer(t, mux)
@@ -48,7 +48,7 @@ func TestCallRoundTrip(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(2, func(p []byte) ([]byte, error) {
+	mux.Handle(2, func(ctx context.Context, p []byte) ([]byte, error) {
 		return nil, CodedError(42, "nope")
 	})
 	n, addr, _ := startServer(t, mux)
@@ -83,7 +83,7 @@ func TestUnknownMethod(t *testing.T) {
 
 func TestConcurrentPipelinedCalls(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(3, func(p []byte) ([]byte, error) { return p, nil })
+	mux.Handle(3, func(ctx context.Context, p []byte) ([]byte, error) { return p, nil })
 	n, addr, _ := startServer(t, mux)
 	conn, _ := n.Dial(addr)
 	c := NewClient(conn)
@@ -117,8 +117,8 @@ func TestConcurrentPipelinedCalls(t *testing.T) {
 func TestBlockingHandlerDoesNotStallOthers(t *testing.T) {
 	release := make(chan struct{})
 	mux := NewMux()
-	mux.Handle(1, func(p []byte) ([]byte, error) { <-release; return []byte("slow"), nil })
-	mux.Handle(2, func(p []byte) ([]byte, error) { return []byte("fast"), nil })
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) { <-release; return []byte("slow"), nil })
+	mux.Handle(2, func(ctx context.Context, p []byte) ([]byte, error) { return []byte("fast"), nil })
 	n, addr, _ := startServer(t, mux)
 	conn, _ := n.Dial(addr)
 	c := NewClient(conn)
@@ -144,7 +144,7 @@ func TestCallContextCancel(t *testing.T) {
 	mux := NewMux()
 	block := make(chan struct{})
 	defer close(block)
-	mux.Handle(1, func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) { <-block; return nil, nil })
 	n, addr, _ := startServer(t, mux)
 	conn, _ := n.Dial(addr)
 	c := NewClient(conn)
@@ -162,7 +162,7 @@ func TestServerCloseFailsInflight(t *testing.T) {
 	mux := NewMux()
 	started := make(chan struct{})
 	block := make(chan struct{})
-	mux.Handle(1, func(p []byte) ([]byte, error) { close(started); <-block; return nil, nil })
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) { close(started); <-block; return nil, nil })
 	n, addr, srv := startServer(t, mux)
 	conn, _ := n.Dial(addr)
 	c := NewClient(conn)
@@ -188,7 +188,7 @@ func TestConnBrokenSurfacesToPendingCalls(t *testing.T) {
 	mux := NewMux()
 	block := make(chan struct{})
 	defer close(block)
-	mux.Handle(1, func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) { <-block; return nil, nil })
 	n, addr, _ := startServer(t, mux)
 	conn, _ := n.Dial(addr)
 	c := NewClient(conn)
@@ -237,7 +237,7 @@ func TestInprocNetworkLifecycle(t *testing.T) {
 
 func TestPoolReusesAndRedials(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(1, func(p []byte) ([]byte, error) { return []byte("ok"), nil })
+	mux.Handle(1, func(ctx context.Context, p []byte) ([]byte, error) { return []byte("ok"), nil })
 	n, addr, _ := startServer(t, mux)
 	pool := NewPool(n.Dial)
 	defer pool.Close()
@@ -276,7 +276,7 @@ func TestPoolReusesAndRedials(t *testing.T) {
 
 func TestOverTCP(t *testing.T) {
 	mux := NewMux()
-	mux.Handle(7, func(p []byte) ([]byte, error) { return append(p, '!'), nil })
+	mux.Handle(7, func(ctx context.Context, p []byte) ([]byte, error) { return append(p, '!'), nil })
 	lis, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
 		t.Skipf("cannot listen on loopback: %v", err)

@@ -1,0 +1,342 @@
+package trace
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBufSpans is the default per-tracer span capacity.
+const DefaultBufSpans = 4096
+
+// nStripes fans recording across independent rings so concurrent
+// handlers on one service don't serialize on a single mutex. Queries
+// scan every stripe; recording touches exactly one.
+const nStripes = 8
+
+type stripe struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+func (st *stripe) record(sp Span) {
+	st.mu.Lock()
+	st.buf[st.next] = sp
+	st.next++
+	if st.next == len(st.buf) {
+		st.next = 0
+		st.full = true
+	}
+	st.mu.Unlock()
+}
+
+func (st *stripe) collect(id ID, out []Span) []Span {
+	st.mu.Lock()
+	n := st.next
+	if st.full {
+		n = len(st.buf)
+	}
+	for i := 0; i < n; i++ {
+		if st.buf[i].Trace == id {
+			out = append(out, st.buf[i])
+		}
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// Root is one slow-root index entry: a sampled root span whose
+// duration crossed the tracer's slow threshold. The index answers
+// "what was slow lately?" without knowing any trace ID up front.
+type Root struct {
+	Trace    ID            `json:"trace"`
+	Service  string        `json:"service"`
+	Op       string        `json:"op"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Tracer records spans for one service into a bounded lock-striped
+// ring. The nil *Tracer is a valid no-op, mirroring the nil metrics
+// registry: Start on a nil tracer returns ctx unchanged and a zero
+// Active whose Finish does nothing, so instrumented code never
+// branches on "is tracing on".
+type Tracer struct {
+	service string
+
+	// sample is the head-sampling threshold: a fresh root is sampled
+	// iff a random uint64 is below it (0 = never, MaxUint64 = always).
+	sample atomic.Uint64
+	// slow (ns, 0 = off) arms slow-root capture: every root is traced
+	// and the ones slower than the threshold are indexed in slowBuf.
+	slow atomic.Int64
+
+	stripes [nStripes]stripe
+
+	slowMu   sync.Mutex
+	slowBuf  []Root
+	slowNext int
+	slowFull bool
+
+	recorded atomic.Uint64 // total spans recorded (tests, leak checks)
+}
+
+// New returns a tracer for service with capacity for bufSpans spans
+// (DefaultBufSpans if <= 0), rounded up to the stripe count. Sampling
+// starts fully off; see SetSampling.
+func New(service string, bufSpans int) *Tracer {
+	if bufSpans <= 0 {
+		bufSpans = DefaultBufSpans
+	}
+	per := (bufSpans + nStripes - 1) / nStripes
+	t := &Tracer{service: service}
+	for i := range t.stripes {
+		t.stripes[i].buf = make([]Span, per)
+	}
+	t.slowBuf = make([]Root, 64)
+	return t
+}
+
+// Service returns the service name stamped on recorded spans.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// SetSampling configures head sampling and slow-root capture. rate is
+// the probability (clamped to [0,1]) that a fresh root — an operation
+// with no inbound trace context — starts a sampled trace. slow, when
+// positive, traces every root and records the ones that exceed it in
+// the slow index, so tail outliers are captured even at rate 0.
+// Requests arriving with a trace context are always recorded; the
+// sampling decision was the root's to make.
+func (t *Tracer) SetSampling(rate float64, slow time.Duration) {
+	if t == nil {
+		return
+	}
+	var th uint64
+	switch {
+	case rate >= 1:
+		th = math.MaxUint64
+	case rate > 0:
+		th = uint64(rate * float64(math.MaxUint64))
+	}
+	t.sample.Store(th)
+	t.slow.Store(int64(slow))
+}
+
+func (t *Tracer) sampleHit() bool {
+	if t.slow.Load() > 0 {
+		return true
+	}
+	th := t.sample.Load()
+	if th == 0 {
+		return false
+	}
+	if th == math.MaxUint64 {
+		return true
+	}
+	return rand.Uint64() < th
+}
+
+// Active is an in-flight span handed out by Start. It is a value, not
+// a pointer: the zero Active (not recording) costs nothing to carry
+// and Finish on it is a no-op.
+type Active struct {
+	t      *Tracer
+	trace  ID
+	id     SpanID
+	parent SpanID
+	op     string
+	start  time.Time
+}
+
+// Recording reports whether the span will be recorded on Finish.
+func (a Active) Recording() bool { return a.t != nil }
+
+// Trace returns the trace this span belongs to (zero if not recording).
+func (a Active) Trace() ID { return a.trace }
+
+// Start opens a span for op. If ctx already carries a trace context
+// the span joins that trace as a child of the current span; otherwise
+// the tracer's head-sampling decides whether a fresh root trace
+// begins. When not recording, the original ctx and a zero Active come
+// back with no allocation.
+func (t *Tracer) Start(ctx context.Context, op string) (context.Context, Active) {
+	if t == nil {
+		return ctx, Active{}
+	}
+	tc, ok := FromContext(ctx)
+	if !ok {
+		if !t.sampleHit() {
+			return ctx, Active{}
+		}
+		tc = Context{Trace: NewID()}
+	}
+	a := Active{
+		t:      t,
+		trace:  tc.Trace,
+		id:     newSpanID(),
+		parent: tc.Span,
+		op:     op,
+		start:  time.Now(),
+	}
+	return NewContext(ctx, Context{Trace: tc.Trace, Span: a.id}), a
+}
+
+// Finish records the span. A nil err records success; otherwise the
+// error message is kept with the generic error code.
+func (a Active) Finish(err error) {
+	if a.t == nil {
+		return
+	}
+	var code uint16
+	msg := ""
+	if err != nil {
+		code = 1
+		msg = err.Error()
+	}
+	a.FinishCode(code, msg)
+}
+
+// FinishCode records the span with an explicit protocol status code —
+// the RPC server uses this so a span's error matches what went on the
+// wire.
+func (a Active) FinishCode(code uint16, msg string) {
+	t := a.t
+	if t == nil {
+		return
+	}
+	d := time.Since(a.start)
+	t.stripes[uint64(a.id)%nStripes].record(Span{
+		Trace:    a.trace,
+		ID:       a.id,
+		Parent:   a.parent,
+		Service:  t.service,
+		Op:       a.op,
+		Start:    a.start,
+		Duration: d,
+		Code:     code,
+		Err:      msg,
+	})
+	t.recorded.Add(1)
+	if a.parent == 0 {
+		if s := t.slow.Load(); s > 0 && d >= time.Duration(s) {
+			t.recordSlow(Root{
+				Trace:    a.trace,
+				Service:  t.service,
+				Op:       a.op,
+				Start:    a.start,
+				Duration: d,
+				Err:      msg,
+			})
+		}
+	}
+}
+
+func (t *Tracer) recordSlow(r Root) {
+	t.slowMu.Lock()
+	t.slowBuf[t.slowNext] = r
+	t.slowNext++
+	if t.slowNext == len(t.slowBuf) {
+		t.slowNext = 0
+		t.slowFull = true
+	}
+	t.slowMu.Unlock()
+}
+
+// Spans returns every retained span of trace id, unordered.
+func (t *Tracer) Spans(id ID) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for i := range t.stripes {
+		out = t.stripes[i].collect(id, out)
+	}
+	return out
+}
+
+// SlowRoots returns the retained slow-root index entries, most recent
+// last.
+func (t *Tracer) SlowRoots() []Root {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	var out []Root
+	if t.slowFull {
+		out = append(out, t.slowBuf[t.slowNext:]...)
+	}
+	out = append(out, t.slowBuf[:t.slowNext]...)
+	return out
+}
+
+// Recorded returns the total number of spans ever recorded — the
+// leak-check hook: a workload that should produce no spans must leave
+// this at zero.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Exporter aggregates the tracers of one process (or one in-process
+// cluster) behind a single query surface; the HTTP side lives in
+// http.go.
+type Exporter struct {
+	mu      sync.Mutex
+	tracers []*Tracer
+}
+
+// NewExporter returns an empty exporter.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Register adds t to the exporter. Nil tracers are ignored.
+func (e *Exporter) Register(t *Tracer) {
+	if t == nil {
+		return
+	}
+	e.mu.Lock()
+	e.tracers = append(e.tracers, t)
+	e.mu.Unlock()
+}
+
+func (e *Exporter) snapshot() []*Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Tracer(nil), e.tracers...)
+}
+
+// Spans returns every retained span of trace id across all registered
+// tracers, sorted by start time.
+func (e *Exporter) Spans(id ID) []Span {
+	var out []Span
+	for _, t := range e.snapshot() {
+		out = append(out, t.Spans(id)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// SlowRoots returns the slow-root entries of all registered tracers,
+// sorted by start time.
+func (e *Exporter) SlowRoots() []Root {
+	var out []Root
+	for _, t := range e.snapshot() {
+		out = append(out, t.SlowRoots()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}

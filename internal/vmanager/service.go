@@ -161,6 +161,15 @@ var opNames = [mForceSnapshot]string{
 	"wal_status", "force_snapshot",
 }
 
+// MethodName maps an RPC method number to its operation name, for the
+// server-side tracer.
+func MethodName(m uint16) string {
+	if m >= 1 && m <= mForceSnapshot {
+		return opNames[m-1]
+	}
+	return "unknown"
+}
+
 // Service is the RPC shell around State, plus the dead-writer janitor.
 type Service struct {
 	state *State
@@ -245,11 +254,11 @@ func (s *Service) Ops() OpCounts {
 // plus the per-op latency histogram.
 func (s *Service) counted(m uint16, fn rpc.HandlerFunc) rpc.HandlerFunc {
 	h := s.opLatency[m-1]
-	return func(p []byte) ([]byte, error) {
+	return func(ctx context.Context, p []byte) ([]byte, error) {
 		s.calls.Add(1)
 		s.ops[m-1].Add(1)
 		t0 := time.Now()
-		resp, err := fn(p)
+		resp, err := fn(ctx, p)
 		h.ObserveSince(t0)
 		return resp, err
 	}
@@ -340,7 +349,7 @@ func decodeOps(r *wire.Reader) OpCounts {
 	}
 }
 
-func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
+func (s *Service) handleWALStatus(ctx context.Context, p []byte) ([]byte, error) {
 	st, err := s.state.WALStatus()
 	if err != nil {
 		return nil, wrap(err)
@@ -359,7 +368,7 @@ func (s *Service) handleWALStatus(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleForceSnapshot(p []byte) ([]byte, error) {
+func (s *Service) handleForceSnapshot(ctx context.Context, p []byte) ([]byte, error) {
 	if err := s.state.SnapshotNow(); err != nil {
 		return nil, wrap(err)
 	}
@@ -407,7 +416,7 @@ func decodeDescs(r *wire.Reader) []blob.WriteDesc {
 	return out
 }
 
-func (s *Service) handleCreate(p []byte) ([]byte, error) {
+func (s *Service) handleCreate(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	blockSize := r.I64()
 	replication := int(r.U32())
@@ -423,7 +432,7 @@ func (s *Service) handleCreate(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleGetMeta(p []byte) ([]byte, error) {
+func (s *Service) handleGetMeta(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	if err := r.Err(); err != nil {
@@ -439,7 +448,7 @@ func (s *Service) handleGetMeta(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleAssign(p []byte) ([]byte, error) {
+func (s *Service) handleAssign(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	kind := blob.WriteKind(r.U8())
@@ -462,7 +471,7 @@ func (s *Service) handleAssign(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleCommit(p []byte) ([]byte, error) {
+func (s *Service) handleCommit(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	v := blob.Version(r.U64())
@@ -472,7 +481,7 @@ func (s *Service) handleCommit(p []byte) ([]byte, error) {
 	return nil, wrap(s.state.Commit(id, v))
 }
 
-func (s *Service) handleAbort(p []byte) ([]byte, error) {
+func (s *Service) handleAbort(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	v := blob.Version(r.U64())
@@ -482,7 +491,7 @@ func (s *Service) handleAbort(p []byte) ([]byte, error) {
 	return nil, wrap(s.state.Abort(id, v))
 }
 
-func (s *Service) handleLatest(p []byte) ([]byte, error) {
+func (s *Service) handleLatest(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	if err := r.Err(); err != nil {
@@ -498,7 +507,7 @@ func (s *Service) handleLatest(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleVersionInfo(p []byte) ([]byte, error) {
+func (s *Service) handleVersionInfo(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	v := blob.Version(r.U64())
@@ -514,7 +523,7 @@ func (s *Service) handleVersionInfo(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleHistory(p []byte) ([]byte, error) {
+func (s *Service) handleHistory(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	since := blob.Version(r.U64())
@@ -530,7 +539,7 @@ func (s *Service) handleHistory(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleWait(p []byte) ([]byte, error) {
+func (s *Service) handleWait(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	v := blob.Version(r.U64())
@@ -548,7 +557,7 @@ func (s *Service) handleWait(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handleListBlobs(p []byte) ([]byte, error) {
+func (s *Service) handleListBlobs(ctx context.Context, p []byte) ([]byte, error) {
 	ids := s.state.Blobs()
 	b := wire.NewBuffer(4 + len(ids)*8)
 	b.U32(uint32(len(ids)))
@@ -559,7 +568,7 @@ func (s *Service) handleListBlobs(p []byte) ([]byte, error) {
 }
 
 // Client is the version-manager RPC client.
-func (s *Service) handlePrune(p []byte) ([]byte, error) {
+func (s *Service) handlePrune(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	keep := blob.Version(r.U64())
@@ -575,7 +584,7 @@ func (s *Service) handlePrune(p []byte) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func (s *Service) handlePrunedBelow(p []byte) ([]byte, error) {
+func (s *Service) handlePrunedBelow(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := blob.ID(r.U64())
 	if err := r.Err(); err != nil {
